@@ -1,0 +1,62 @@
+"""Benchmark harness: one benchmark per paper table/figure.
+
+Each benchmark runs its experiment at full fidelity (the quick flags
+off), times it with pytest-benchmark, prints the reproduced rows, and
+writes them to ``results/<experiment>.txt`` so EXPERIMENTS.md can be
+regenerated from a benchmark run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import CHARTABLE
+from repro.experiments.result import ExperimentResult
+from repro.util.charts import line_chart
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Save and print an experiment's rendered table."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        text = result.render()
+        (results_dir / f"{result.experiment_id}.txt").write_text(
+            text + "\n"
+        )
+        if result.experiment_id in CHARTABLE:
+            keys, y_label = CHARTABLE[result.experiment_id]
+            series = {
+                k: result.series[k] for k in keys if k in result.series
+            }
+            if series:
+                chart = line_chart(
+                    series,
+                    title=f"{result.experiment_id}: {result.title}",
+                    y_label=y_label,
+                )
+                (results_dir / f"{result.experiment_id}.chart.txt").write_text(
+                    chart + "\n"
+                )
+        print()
+        print(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time exactly one full execution of an experiment."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

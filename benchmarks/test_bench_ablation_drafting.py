@@ -1,0 +1,17 @@
+"""Benchmark: Execution Drafting energy saving (extension ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_drafting as experiment
+
+from conftest import run_once
+
+
+def test_bench_ablation_drafting(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    saving = result.series["energy_saving_fraction"][0]
+    assert 0.02 < saving < 0.35

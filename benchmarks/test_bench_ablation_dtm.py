@@ -1,0 +1,17 @@
+"""Benchmark: dynamic thermal management ablation (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_dtm as experiment
+
+from conftest import run_once
+
+
+def test_bench_ablation_dtm(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+    reactive = result.series["reactive_work_ratio"][0]
+    assert reactive > 1.1  # DTM beats the static-safe clock
+    assert result.series["reactive_peak_c"][0] < 92.0

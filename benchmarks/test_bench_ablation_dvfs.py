@@ -1,0 +1,17 @@
+"""Benchmark: energy-optimal DVFS point (extension ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_dvfs as experiment
+
+from conftest import run_once
+
+
+def test_bench_ablation_dvfs(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    energies = result.series["energy_mj"]
+    assert min(energies) < energies[-1]  # running flat-out is not optimal

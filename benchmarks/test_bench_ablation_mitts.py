@@ -1,0 +1,16 @@
+"""Benchmark: MITTS two-tenant bandwidth shaping (extension ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_mitts as experiment
+
+from conftest import run_once
+
+
+def test_bench_ablation_mitts(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert result.series["shaped_a_share"][0] > result.series["unshaped_a_share"][0]

@@ -1,0 +1,18 @@
+"""Benchmark: cross-socket access cost / CDR saving (extension ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_multichip as experiment
+
+from conftest import run_once
+
+
+def test_bench_ablation_multichip(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    p21 = result.series["2x1_penalty"][0]
+    p42 = result.series["4x2_penalty"][0]
+    assert p42 > p21 > 100

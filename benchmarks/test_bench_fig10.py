@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 10 static and idle power (and Table V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10_static_idle as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig10(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert abs(result.series["table5_static_mw"][0] - 389.3) < 10
+    assert abs(result.series["table5_idle_mw"][0] - 2015.3) < 45

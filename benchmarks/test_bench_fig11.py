@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 11 energy per instruction (and Table VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11_epi as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig11(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    rows = result.row_dict()
+    assert 3 * rows["add"][3] == pytest.approx(rows["ldx"][3], rel=0.15)
+    for label, values in result.series.items():
+        if len(values) == 3:
+            assert values[0] < values[1] < values[2], label

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 12 NoC energy per flit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig12_noc as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig12(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    slopes = {p: result.series[f"{p}_slope_pj"][0] for p in ("NSW", "HSW", "FSW", "FSWA")}
+    assert slopes["NSW"] < slopes["HSW"] < slopes["FSW"]
+    assert slopes["NSW"] == pytest.approx(3.58, abs=1.5)
+    assert slopes["HSW"] == pytest.approx(11.16, abs=3.0)
+    assert slopes["FSW"] == pytest.approx(16.68, abs=3.5)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's Figure 13 power vs core count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13_scaling as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig13(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    s = {k: v[0] for k, v in result.series.items() if "slope" in k}
+    assert s["Hist_1tc_slope_mw"] < s["Int_1tc_slope_mw"] < s["HP_1tc_slope_mw"]
+    assert s["Int_2tc_slope_mw"] == pytest.approx(37.4, rel=0.3)

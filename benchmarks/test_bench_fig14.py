@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's Figure 14 multithreading vs multicore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig14_mt_mc as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig14(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert any("Hist" in n for n in result.notes)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's Figure 15 memory latency breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig15_latency as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig15(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert result.series["total_cycles"][0] == 395

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 16 power time series over gcc-166."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig16_timeseries as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig16(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    assert 1700 < rows["Core (VDD)"][1] < 1850

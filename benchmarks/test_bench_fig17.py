@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 17 power vs temperature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig17_thermal as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig17(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    p0 = result.series["0_threads_power_mw"]
+    assert p0 == sorted(p0)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 18 scheduling power/temperature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig18_scheduling as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig18(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    assert rows["interleaved"][3] < rows["synchronized"][3]

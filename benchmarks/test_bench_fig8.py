@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's Figure 8 area breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_area as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig8(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert result.series["chip_total_mm2"][0] == 35.97552

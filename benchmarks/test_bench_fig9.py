@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 9 Fmax vs VDD for three chips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9_vf as experiment
+
+from conftest import run_once
+
+
+def test_bench_fig9(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    minima = result.series["min"]
+    paper = list(result.paper_reference.values())
+    for measured, expected in zip(minima, paper):
+        assert abs(measured - expected) / expected < 0.15

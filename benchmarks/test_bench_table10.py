@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's Table X processor comparison survey."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table10_related as experiment
+
+from conftest import run_once
+
+
+def test_bench_table10(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert result.series["open_and_characterized_count"] == [1.0]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's Table IV chip testing statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4_yield as experiment
+
+from conftest import run_once
+
+
+def test_bench_table4(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert sum(row[3] for row in result.rows) == 32
+    good_pct = result.rows[0][4]
+    assert 40.0 <= good_pct <= 80.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Table VII memory system energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table7_memory as experiment
+
+from conftest import run_once
+
+
+def test_bench_table7(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    rows = result.row_dict()
+    assert rows["L1 hit"][3] == pytest.approx(0.28646, rel=0.12)
+    assert rows["L1 miss, local L2 hit"][3] == pytest.approx(1.54, rel=0.15)
+    assert rows["L1 miss, local L2 miss"][3] == pytest.approx(308.7, rel=0.25)

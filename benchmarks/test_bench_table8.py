@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's Table VIII system specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table8_specs as experiment
+
+from conftest import run_once
+
+
+def test_bench_table8(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    assert result.series["piton_memory_latency_ns"][0] == pytest.approx(848, rel=0.02)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's Table IX SPECint performance, power, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table9_spec as experiment
+
+from conftest import run_once
+
+
+def test_bench_table9(benchmark, record_result):
+    result = run_once(benchmark, experiment.run, quick=False)
+    record_result(result)
+
+    for name, ref in result.paper_reference.items():
+        row = result.row_dict()[name]
+        assert row[3] == pytest.approx(ref["slowdown"], rel=0.05)

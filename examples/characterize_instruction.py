@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Characterize any instruction's energy, the paper's Section IV-E way.
+
+Builds the unrolled assembly test for the instruction you name, sweeps
+minimum / random / maximum operand values, runs it on all 25 cores,
+and applies the EPI equation — the exact flow behind Figure 11, usable
+for your own instruction of interest.
+
+Run:  python examples/characterize_instruction.py [mnemonic] [cores]
+      python examples/characterize_instruction.py mulx 9
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.isa.operands import OperandPolicy
+from repro.power.epi import energy_per_instruction
+from repro.system import PitonSystem
+from repro.util.tables import render_table
+from repro.workloads.epi_tests import build_named_epi_workload
+
+
+def characterize(mnemonic: str, cores: int) -> None:
+    system = PitonSystem.default(seed=1)
+    p_idle = system.measure_idle().core
+
+    rows = []
+    for policy in OperandPolicy:
+        workload = {}
+        test = None
+        for tile in range(cores):
+            test, tile_program = build_named_epi_workload(
+                mnemonic, policy, tile
+            )
+            workload[tile] = tile_program
+        run = system.run_workload(
+            workload, warmup_cycles=12_000, window_cycles=6_000
+        )
+        epi = energy_per_instruction(
+            run.measurement.core,
+            p_idle,
+            system.freq_hz,
+            test.latency_cycles,
+            cores=cores,
+        )
+        rows.append(
+            (
+                policy.value,
+                test.latency_cycles,
+                round(epi.value / 1e-12, 1),
+                round(epi.sigma / 1e-12, 1),
+                f"{run.measurement.core.format(1e-3)} mW",
+            )
+        )
+    print(
+        render_table(
+            ["operands", "latency (cyc)", "EPI (pJ)", "±(pJ)", "P_inst"],
+            rows,
+            title=f"EPI characterization: {mnemonic} on {cores} cores",
+        )
+    )
+    print(
+        "\nmethodology: EPI = (1/N) x (P_inst - P_idle)/f x L "
+        f"with P_idle = {p_idle.format(1e-3)} mW"
+    )
+
+
+def main() -> None:
+    mnemonic = sys.argv[1] if len(sys.argv) > 1 else "mulx"
+    cores = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    characterize(mnemonic, cores)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Design-space exploration beyond the paper: how do the paper's NoC
+and memory-energy conclusions change with mesh size?
+
+The paper stresses (Section IV-K) that its "NoC energy is small"
+finding is tied to Piton's geometry: bigger meshes mean longer routes.
+This example uses the library's configurable mesh to quantify that —
+for 3x3, 5x5, and 7x7 tile arrays it reports the worst-case and mean
+NoC transit energy per 64B-line transfer against the energy of the L2
+access it accompanies.
+
+Run:  python examples/mesh_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.arch.floorplan import Floorplan
+from repro.arch.params import PitonConfig
+from repro.cache.latency import MemoryLatencyModel
+from repro.power.calibration import EVENT_ENERGIES
+from repro.util.tables import render_table
+
+#: Flits per L2 read transaction: 3-flit request + 3-flit response.
+TRANSACTION_FLITS = 6
+#: Random-data switching fraction.
+ACTIVITY = 0.5
+
+
+def transit_energy_pj(hops: int) -> float:
+    """NoC energy of one L2 transaction over ``hops`` mesh hops."""
+    router = EVENT_ENERGIES["noc1.router_pass"].base_pj
+    wire = EVENT_ENERGIES["noc1.flit_hop"].act_pj * ACTIVITY
+    per_flit_hop = router + wire
+    return TRANSACTION_FLITS * hops * per_flit_hop
+
+
+def l2_access_energy_pj() -> float:
+    read = EVENT_ENERGIES["l2.read"]
+    dir_ = EVENT_ENERGIES["dir.lookup"]
+    return (
+        read.base_pj
+        + read.act_pj * ACTIVITY
+        + dir_.base_pj
+        + dir_.act_pj * ACTIVITY
+    )
+
+
+def mean_hops(config: PitonConfig) -> float:
+    fp = Floorplan(config)
+    total = count = 0
+    for src in fp.all_tiles():
+        for dst in fp.all_tiles():
+            total += fp.hops(src, dst)
+            count += 1
+    return total / count
+
+
+def main() -> None:
+    latency = MemoryLatencyModel()
+    l2_pj = l2_access_energy_pj()
+    rows = []
+    for width in (3, 5, 7, 9):
+        config = PitonConfig().with_mesh(width, width)
+        avg = mean_hops(config)
+        worst = config.max_hops
+        rows.append(
+            (
+                f"{width}x{width}",
+                config.tile_count,
+                round(avg, 2),
+                round(transit_energy_pj(avg), 1),
+                round(transit_energy_pj(worst), 1),
+                round(transit_energy_pj(avg) / l2_pj, 2),
+                latency.l2_hit(worst, 1),
+            )
+        )
+    print(
+        render_table(
+            [
+                "mesh",
+                "tiles",
+                "mean hops",
+                "mean NoC pJ/txn",
+                "worst NoC pJ/txn",
+                "NoC/L2 energy ratio",
+                "worst L2 hit (cyc)",
+            ],
+            rows,
+            title="NoC transit energy vs mesh size "
+            f"(L2 access ~{l2_pj:.0f} pJ; Piton is the 5x5 row)",
+        )
+    )
+    print(
+        "\ntakeaway: at Piton's 5x5 size the mean NoC transit costs a "
+        "fraction of one L2 access — the paper's 'on-chip data "
+        "transmission energy is low' — but the ratio grows with mesh "
+        "diameter, exactly the caveat of Section IV-K."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""NoC traffic study: where do the flits (and their energy) go?
+
+Uses the flit-level mesh simulator with three traffic patterns —
+uniform random, hot-home (everyone reading one L2 slice), and the
+paper's Figure 12 stream — and reports link utilization, the hottest
+links, and per-router heatmaps. Shows the structural skew of
+dimension-ordered routing (X rows load up before Y columns) and what a
+hot home slice does to its row, context for the paper's note that its
+low NoC-energy finding is tied to Piton's modest mesh.
+
+Run:  python examples/noc_traffic_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import PitonConfig
+from repro.noc.analysis import NocAnalysis
+from repro.noc.flit import Packet
+from repro.noc.mesh import MeshNetwork
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+
+
+def run_pattern(name: str, packets: list[tuple[int, int]]) -> None:
+    mesh = MeshNetwork(PitonConfig(), network_id=1)
+    for src, dst in packets:
+        mesh.inject(Packet.build(dst, [0x5555555555555555, 0]), src)
+    mesh.drain()
+    analysis = NocAnalysis(mesh)
+    model = ChipPowerModel()
+    op = OperatingPoint()
+    noc_w = model.event_power(mesh.ledger, max(1, mesh.now), op)
+    hottest = analysis.hottest_link()
+    print(f"--- {name} ({len(packets)} packets) ---")
+    print(analysis.heatmap())
+    print(
+        f"flit-hops {analysis.total_flit_hops()}, "
+        f"link utilization {analysis.utilization():.3f}, "
+        f"hottest link {hottest.src}->{hottest.dst} "
+        f"({hottest.flits} flits)"
+    )
+    energy_nj = noc_w.total_w * mesh.now / 500.05e6 / 1e-9
+    print(f"NoC energy this run: {energy_nj:.1f} nJ over "
+          f"{mesh.now} cycles\n")
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    uniform = [
+        (int(rng.integers(25)), int(rng.integers(25)))
+        for _ in range(120)
+    ]
+    run_pattern("uniform random", uniform)
+
+    hot_home = [(int(rng.integers(25)), 12) for _ in range(120)]
+    run_pattern("hot home slice (tile 12)", hot_home)
+
+    fig12_stream = [(0, 24)] * 60
+    run_pattern("Figure 12 stream (tile 0 -> tile 24)", fig12_stream)
+
+    print(
+        "takeaway: dimension-ordered routing concentrates uniform "
+        "traffic on the mesh's inner columns, and a hot home slice "
+        "saturates its row — but even the hottest run's NoC energy is "
+        "tens of nanojoules, the paper's 'computation dominates' point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run any of the paper's tables/figures from the command line.
+
+Run:  python examples/run_experiment.py             # list experiments
+      python examples/run_experiment.py fig9        # full fidelity
+      python examples/run_experiment.py table7 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce one table/figure from the paper."
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (omit to list all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps / fewer cores (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for eid, (_, description) in EXPERIMENTS.items():
+            print(f"  {eid:8s} {description}")
+        return 0
+
+    runner = get_experiment(args.experiment)
+    start = time.perf_counter()
+    result = runner(quick=args.quick)
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    print(f"\n[{args.experiment} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Thermal-aware scheduling exploration (Section IV-J extended).
+
+The paper compares synchronized versus interleaved scheduling of a
+two-phase app and finds interleaving runs 0.22 C cooler. This example
+generalizes the question: for a range of phase-stagger fractions
+(0 = fully synchronized, 0.5 = perfectly interleaved), it integrates
+the power-temperature feedback loop and reports mean/peak temperature
+and the hysteresis-loop area — a small scheduling-policy study built
+on the library's thermal substrate.
+
+Run:  python examples/thermal_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+from repro.silicon.variation import THERMAL_CHIP
+from repro.thermal.cooling import no_heatsink_at_angle
+from repro.thermal.feedback import PowerTemperatureSimulator
+from repro.util.tables import render_table
+
+OPERATING = OperatingPoint(vdd=0.90, vcs=0.95, freq_hz=100.01e6)
+PERIOD_S = 40.0
+TOTAL_THREADS = 50
+#: Per-thread activity power of the compute phase at this operating
+#: point (from the Fig 18 experiment's cycle simulations).
+COMPUTE_W_PER_THREAD = 0.0042
+IDLE_PHASE_W_PER_THREAD = 0.0009
+
+
+def make_power_fn(stagger: float, model: ChipPowerModel):
+    """Power trace for a schedule staggering ``stagger`` of the threads
+    by half a period."""
+
+    def compute_threads(t: float) -> float:
+        phase_a = (t % PERIOD_S) < PERIOD_S / 2
+        group_a = TOTAL_THREADS * (1.0 - stagger)
+        group_b = TOTAL_THREADS * stagger
+        return group_a if phase_a else group_b
+
+    def power(die_temp: float, t: float) -> float:
+        idle = model.idle_power(
+            OperatingPoint(
+                vdd=OPERATING.vdd,
+                vcs=OPERATING.vcs,
+                freq_hz=OPERATING.freq_hz,
+                temp_c=die_temp,
+            )
+        ).total_w
+        n_compute = compute_threads(t)
+        n_idle = TOTAL_THREADS - n_compute
+        return (
+            idle
+            + n_compute * COMPUTE_W_PER_THREAD
+            + n_idle * IDLE_PHASE_W_PER_THREAD
+        )
+
+    return power
+
+
+def main() -> None:
+    model = ChipPowerModel(THERMAL_CHIP)
+    cooling = no_heatsink_at_angle(40.0)
+    rows = []
+    for stagger in (0.0, 0.125, 0.25, 0.375, 0.48):
+        sim = PowerTemperatureSimulator(cooling)
+        power_fn = make_power_fn(stagger, model)
+        sim.settle(lambda temp, t: power_fn(temp, 0.0))
+        samples = sim.run(power_fn, duration_s=160.0, dt_s=0.25)
+        steady = samples[len(samples) // 4:]
+        temps = [s.surface_temp_c for s in steady]
+        powers = [s.power_w for s in steady]
+        rows.append(
+            (
+                f"{stagger:.3f}",
+                round(sum(powers) / len(powers) * 1e3, 1),
+                round((max(powers) - min(powers)) * 1e3, 1),
+                round(sum(temps) / len(temps), 3),
+                round(max(temps), 3),
+                round(
+                    PowerTemperatureSimulator.hysteresis_area(steady), 3
+                ),
+            )
+        )
+    print(
+        render_table(
+            [
+                "stagger",
+                "mean power (mW)",
+                "swing (mW)",
+                "mean temp (C)",
+                "peak temp (C)",
+                "hysteresis (W*C)",
+            ],
+            rows,
+            title="Phase stagger vs thermal behaviour "
+            "(0 = synchronized, ~0.5 = interleaved)",
+        )
+    )
+    print(
+        "\ntakeaway: staggering phases across threads cuts the power "
+        "swing, peak temperature, and the power-temperature hysteresis "
+        "loop — the paper's Fig 18 point, now as a tunable policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

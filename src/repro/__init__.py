@@ -1,0 +1,41 @@
+"""repro: a faithful, calibrated reproduction of *Power and Energy
+Characterization of an Open Source 25-core Manycore Processor*
+(McKeown et al., HPCA 2018).
+
+The library rebuilds the paper's entire experimental stack in software:
+
+* the **Piton chip** — OpenSPARC-T1-style fine-grained-multithreaded
+  cores (:mod:`repro.core`), the L1/L1.5/L2 hierarchy with
+  directory-based MESI coherence (:mod:`repro.cache`), three wormhole
+  mesh NoCs (:mod:`repro.noc`), and the chip bridge / chipset / DDR3
+  path (:mod:`repro.chip`);
+* the **silicon** — per-die process-variation personas and the yield
+  model (:mod:`repro.silicon`);
+* the **power model** — calibrated per-event energies, leakage and
+  clock power, the alpha-power Fmax law, and the paper's EPI/EPF
+  methodology (:mod:`repro.power`);
+* the **thermals** — RC package networks and the leakage feedback loop
+  (:mod:`repro.thermal`);
+* the **test bench** — virtual PCB rails, sense resistors, and the
+  17 Hz / 128-sample measurement protocol (:mod:`repro.board`);
+* the **workloads** — EPI assembly tests, memory and NoC stressors,
+  the Int/HP/Hist microbenchmarks, and SPECint-profile replay
+  (:mod:`repro.workloads`);
+* the **experiments** — one module per paper table/figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.system import PitonSystem
+
+    system = PitonSystem.default()
+    idle = system.measure_idle()
+    print(idle.total.format(scale=1e-3), "mW")
+"""
+
+from repro.arch.params import PitonConfig
+from repro.system import PitonSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["PitonConfig", "PitonSystem", "__version__"]

@@ -1,0 +1,34 @@
+"""Architectural description of the Piton chip.
+
+This subpackage encodes the *published* facts about the design — the
+Table I parameter summary, the Figure 8 area breakdown, and the die
+floorplan geometry — as structured data the simulator and power models
+consume. Nothing here is simulated; it is the ground-truth design
+database the rest of the library is parameterized by.
+"""
+
+from repro.arch.area import AreaBreakdown, CHIP_AREA, CORE_AREA, TILE_AREA
+from repro.arch.floorplan import Floorplan, TileCoord
+from repro.arch.params import (
+    CacheParams,
+    DEFAULT_MEASUREMENT,
+    MeasurementDefaults,
+    NocParams,
+    PitonConfig,
+    SystemClocks,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "CHIP_AREA",
+    "CORE_AREA",
+    "TILE_AREA",
+    "Floorplan",
+    "TileCoord",
+    "CacheParams",
+    "DEFAULT_MEASUREMENT",
+    "MeasurementDefaults",
+    "NocParams",
+    "PitonConfig",
+    "SystemClocks",
+]

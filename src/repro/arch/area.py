@@ -1,0 +1,151 @@
+"""Figure 8 area breakdown database.
+
+The paper publishes the most detailed area breakdown of an open source
+manycore, computed directly from the place-and-route tool at three
+levels: chip, tile, and core. We encode those percentages (and the
+floorplanned totals) verbatim. The power model uses them as effective-
+capacitance and leakage-width proxies: a block's share of switched
+capacitance and leakage scales with its cell area, split between the
+core (VDD) and SRAM (VCS) rails by the ``sram_fraction`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+# Floorplanned totals, mm^2 (Figure 8 captions).
+CHIP_AREA = 35.97552
+TILE_AREA = 1.17459
+CORE_AREA = 0.55205
+
+
+@dataclass(frozen=True)
+class AreaEntry:
+    """One block's share of a floorplan level.
+
+    ``percent``      – of the level's floorplanned area (Figure 8).
+    ``sram_fraction``– fraction of the block's cell area that is SRAM
+                       macro (drawn from the VCS rail); the rest is
+                       standard-cell logic on VDD. These fractions are
+                       our modelling estimates, not paper data: caches
+                       are macro-dominated, logic blocks are zero.
+    """
+
+    percent: float
+    sram_fraction: float = 0.0
+
+
+# --- chip level --------------------------------------------------------------
+CHIP_BREAKDOWN: Mapping[str, AreaEntry] = {
+    "tile0": AreaEntry(3.27),
+    "tiles_1_24": AreaEntry(78.37),
+    "chip_bridge": AreaEntry(0.12),
+    "clock_circuitry": AreaEntry(0.26),
+    "io_cells": AreaEntry(3.75),
+    "oram": AreaEntry(2.73, sram_fraction=0.50),
+    "timing_opt_buffers": AreaEntry(0.07),
+    "filler": AreaEntry(9.32),
+    "unutilized": AreaEntry(2.12),
+}
+
+# --- tile level ---------------------------------------------------------------
+TILE_BREAKDOWN: Mapping[str, AreaEntry] = {
+    "l2_cache": AreaEntry(22.16, sram_fraction=0.72),
+    "l15_cache": AreaEntry(7.62, sram_fraction=0.55),
+    "noc1_router": AreaEntry(0.98),
+    "noc2_router": AreaEntry(0.95),
+    "noc3_router": AreaEntry(0.95),
+    "fpu": AreaEntry(2.64),
+    "mitts": AreaEntry(0.17),
+    "jtag": AreaEntry(0.10),
+    "config_regs": AreaEntry(0.05),
+    "core": AreaEntry(47.00, sram_fraction=0.38),
+    "clock_tree": AreaEntry(0.01),
+    "timing_opt_buffers": AreaEntry(0.34),
+    "filler": AreaEntry(16.32),
+    "unutilized": AreaEntry(0.73),
+}
+
+# --- core level ---------------------------------------------------------------
+CORE_BREAKDOWN: Mapping[str, AreaEntry] = {
+    "fetch": AreaEntry(17.52, sram_fraction=0.70),  # L1 I$ arrays
+    "load_store": AreaEntry(22.33, sram_fraction=0.55),  # L1 D$ arrays
+    "execute": AreaEntry(2.38),
+    "integer_rf": AreaEntry(16.81, sram_fraction=0.60),
+    "trap_logic": AreaEntry(6.42),
+    "multiply": AreaEntry(1.53),
+    "fp_frontend": AreaEntry(1.85),
+    "config_regs": AreaEntry(0.11),
+    "ccx_buffers": AreaEntry(0.06),
+    "clock_tree": AreaEntry(0.13),
+    "timing_opt_buffers": AreaEntry(3.83),
+    "filler": AreaEntry(26.13),
+    "unutilized": AreaEntry(0.90),
+}
+
+# Blocks that contribute neither switched capacitance nor leakage in the
+# power model (empty silicon / decap fill).
+PASSIVE_BLOCKS = frozenset({"filler", "unutilized"})
+
+
+class AreaBreakdown:
+    """Query interface over the three-level Figure 8 database."""
+
+    LEVELS: Mapping[str, tuple[Mapping[str, AreaEntry], float]] = {
+        "chip": (CHIP_BREAKDOWN, CHIP_AREA),
+        "tile": (TILE_BREAKDOWN, TILE_AREA),
+        "core": (CORE_BREAKDOWN, CORE_AREA),
+    }
+
+    def entries(self, level: str) -> Mapping[str, AreaEntry]:
+        breakdown, _ = self._level(level)
+        return breakdown
+
+    def total_mm2(self, level: str) -> float:
+        _, total = self._level(level)
+        return total
+
+    def block_mm2(self, level: str, block: str) -> float:
+        """Absolute area of ``block`` in mm^2."""
+        breakdown, total = self._level(level)
+        try:
+            entry = breakdown[block]
+        except KeyError:
+            raise KeyError(f"no block {block!r} at level {level!r}") from None
+        return total * entry.percent / 100.0
+
+    def active_mm2(self, level: str) -> float:
+        """Total non-passive cell area at ``level``."""
+        breakdown, total = self._level(level)
+        return sum(
+            total * e.percent / 100.0
+            for name, e in breakdown.items()
+            if name not in PASSIVE_BLOCKS
+        )
+
+    def sram_mm2(self, level: str) -> float:
+        """SRAM-macro area at ``level`` (drawn from the VCS rail)."""
+        breakdown, total = self._level(level)
+        return sum(
+            total * e.percent / 100.0 * e.sram_fraction
+            for name, e in breakdown.items()
+            if name not in PASSIVE_BLOCKS
+        )
+
+    def logic_mm2(self, level: str) -> float:
+        """Standard-cell logic area at ``level`` (on the VDD rail)."""
+        return self.active_mm2(level) - self.sram_mm2(level)
+
+    def percent_sum(self, level: str) -> float:
+        """Sanity metric: reported percentages should total ~100."""
+        breakdown, _ = self._level(level)
+        return sum(e.percent for e in breakdown.values())
+
+    def _level(self, level: str) -> tuple[Mapping[str, AreaEntry], float]:
+        try:
+            return self.LEVELS[level]
+        except KeyError:
+            raise KeyError(
+                f"unknown level {level!r}; expected one of {set(self.LEVELS)}"
+            ) from None

@@ -1,0 +1,150 @@
+"""Piton architectural parameters (paper Tables I, II and III).
+
+:class:`PitonConfig` is the single source of truth for the machine being
+simulated. The defaults reproduce the taped-out Piton chip exactly;
+researchers exploring variants (more tiles, different cache geometries)
+construct modified configs — every substrate reads its shape from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.units import KB, MB, MHZ
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                "cache size must be divisible by associativity * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Network-on-chip parameters (three identical physical meshes)."""
+
+    count: int = 3
+    flit_bits: int = 64
+    hop_latency_cycles: int = 1
+    turn_penalty_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class SystemClocks:
+    """Experimental system interface frequencies (paper Table II), in Hz."""
+
+    gateway_to_piton_hz: float = 180 * MHZ
+    gateway_to_chipset_hz: float = 180 * MHZ
+    chipset_logic_hz: float = 280 * MHZ
+    dram_phy_hz: float = 800 * MHZ  # 1600 MT/s DDR3
+    dram_controller_hz: float = 200 * MHZ
+    sd_spi_hz: float = 20 * MHZ
+    uart_baud: int = 115_200
+
+
+@dataclass(frozen=True)
+class MeasurementDefaults:
+    """Default measurement parameters (paper Table III)."""
+
+    vdd: float = 1.00  # core supply, volts
+    vcs: float = 1.05  # SRAM supply, volts
+    vio: float = 1.80  # I/O supply, volts
+    core_clock_hz: float = 500.05 * MHZ
+    monitor_poll_hz: float = 17.0
+    samples_per_measurement: int = 128
+
+
+@dataclass(frozen=True)
+class PitonConfig:
+    """Full chip configuration (paper Table I).
+
+    The ``mesh_width`` x ``mesh_height`` tile array each hold one core;
+    the distributed L2 is one slice per tile. ``store_buffer_entries``
+    and ``threads_per_core`` drive the pipeline model's rollback and
+    interleaving behaviour.
+    """
+
+    mesh_width: int = 5
+    mesh_height: int = 5
+    threads_per_core: int = 2
+    pipeline_stages: int = 6
+    store_buffer_entries: int = 8
+
+    l1i: CacheParams = field(
+        default_factory=lambda: CacheParams(16 * KB, 4, 32)
+    )
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(8 * KB, 4, 16)
+    )
+    l15: CacheParams = field(
+        default_factory=lambda: CacheParams(8 * KB, 4, 16)
+    )
+    l2_slice: CacheParams = field(
+        default_factory=lambda: CacheParams(64 * KB, 4, 64)
+    )
+
+    noc: NocParams = field(default_factory=NocParams)
+    clocks: SystemClocks = field(default_factory=SystemClocks)
+
+    # Off-chip chip-bridge width, bits each direction (pin limited).
+    chip_bridge_bits: int = 32
+
+    # Die geometry (paper Section II / Figure 1).
+    die_width_mm: float = 6.0
+    die_height_mm: float = 6.0
+    transistor_count: int = 460_000_000
+    # Tile centre-to-centre pitch (paper Section IV-G).
+    tile_pitch_x_mm: float = 1.14452
+    tile_pitch_y_mm: float = 1.053
+
+    def __post_init__(self) -> None:
+        if self.mesh_width <= 0 or self.mesh_height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        if self.threads_per_core <= 0:
+            raise ValueError("threads_per_core must be positive")
+
+    @property
+    def tile_count(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def total_threads(self) -> int:
+        return self.tile_count * self.threads_per_core
+
+    @property
+    def l2_total_bytes(self) -> int:
+        return self.l2_slice.size_bytes * self.tile_count
+
+    @property
+    def max_hops(self) -> int:
+        """Maximum Manhattan hop count across the mesh (8 for 5x5)."""
+        return (self.mesh_width - 1) + (self.mesh_height - 1)
+
+    def with_mesh(self, width: int, height: int) -> "PitonConfig":
+        """Derive a config with a different tile array (research variant)."""
+        return replace(self, mesh_width=width, mesh_height=height)
+
+
+DEFAULT_MEASUREMENT = MeasurementDefaults()
+
+# Convenience: aggregate L2 per chip matches Table I's 1.6MB.
+assert PitonConfig().l2_total_bytes == int(1.5625 * MB)

@@ -1,0 +1,29 @@
+"""The virtual Piton test board: rails, instruments, and the
+measurement protocol.
+
+Reproduces the measurement *methodology* of Section III: three supply
+rails (VDD, VCS, VIO) driven by bench supplies with remote sense, sense
+resistors bridging split power planes, I2C voltage monitors polled at
+~17 Hz, and the standard protocol of recording 128 samples (~7.5 s)
+after steady state and reporting mean +/- sample standard deviation.
+
+Because every experiment's numbers pass through these instruments, the
+reproduction inherits the paper's error bars and quantization artefacts
+rather than reporting the model's exact outputs.
+"""
+
+from repro.board.monitor import MeasurementProtocol, RailMeasurement
+from repro.board.psu import BenchSupply, OnBoardSupply
+from repro.board.sense import SenseResistor, VoltageMonitor
+from repro.board.testboard import ExperimentalSystem, PitonTestBoard
+
+__all__ = [
+    "MeasurementProtocol",
+    "RailMeasurement",
+    "BenchSupply",
+    "OnBoardSupply",
+    "SenseResistor",
+    "VoltageMonitor",
+    "ExperimentalSystem",
+    "PitonTestBoard",
+]

@@ -1,0 +1,127 @@
+"""Long-duration power logging (the paper's openpiton.org data logs).
+
+The paper records full per-rail power logs over entire application runs
+(Figure 16 shows one) and publishes them. :class:`PowerLogger` is the
+virtual bench's equivalent: it samples a time-varying power source at
+the monitor poll rate, keeps the per-rail series, computes the summary
+statistics the paper reports, and round-trips through CSV so logs can
+be archived and re-analyzed offline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.power.chip_power import RailPower
+
+#: power(t_seconds) -> RailPower
+PowerSource = Callable[[float], RailPower]
+
+CSV_HEADER = ("time_s", "vdd_w", "vcs_w", "vio_w")
+
+
+@dataclass
+class PowerLog:
+    """A recorded per-rail power time series."""
+
+    times_s: list[float] = field(default_factory=list)
+    vdd_w: list[float] = field(default_factory=list)
+    vcs_w: list[float] = field(default_factory=list)
+    vio_w: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def append(self, t: float, power: RailPower) -> None:
+        self.times_s.append(t)
+        self.vdd_w.append(power.vdd_w)
+        self.vcs_w.append(power.vcs_w)
+        self.vio_w.append(power.vio_w)
+
+    # ------------------------------------------------------------- analysis
+    def rail(self, name: str) -> list[float]:
+        try:
+            return {"vdd": self.vdd_w, "vcs": self.vcs_w,
+                    "vio": self.vio_w}[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown rail {name!r}; expected vdd/vcs/vio"
+            ) from None
+
+    def summary(self, rail: str) -> dict[str, float]:
+        series = self.rail(rail)
+        if not series:
+            raise ValueError("log is empty")
+        mean = sum(series) / len(series)
+        return {
+            "mean_w": mean,
+            "min_w": min(series),
+            "max_w": max(series),
+            "peak_to_peak_w": max(series) - min(series),
+        }
+
+    def total_energy_j(self) -> float:
+        """Trapezoidal energy over the log (all rails)."""
+        if len(self) < 2:
+            return 0.0
+        energy = 0.0
+        for i in range(1, len(self)):
+            dt = self.times_s[i] - self.times_s[i - 1]
+            p0 = self.vdd_w[i - 1] + self.vcs_w[i - 1] + self.vio_w[i - 1]
+            p1 = self.vdd_w[i] + self.vcs_w[i] + self.vio_w[i]
+            energy += 0.5 * (p0 + p1) * dt
+        return energy
+
+    # ------------------------------------------------------------------ csv
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(CSV_HEADER)
+        for i in range(len(self)):
+            writer.writerow(
+                (
+                    f"{self.times_s[i]:.6f}",
+                    f"{self.vdd_w[i]:.6f}",
+                    f"{self.vcs_w[i]:.6f}",
+                    f"{self.vio_w[i]:.6f}",
+                )
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "PowerLog":
+        reader = csv.reader(io.StringIO(text))
+        header = tuple(next(reader))
+        if header != CSV_HEADER:
+            raise ValueError(f"unexpected CSV header {header}")
+        log = cls()
+        for row in reader:
+            if not row:
+                continue
+            t, vdd, vcs, vio = (float(x) for x in row)
+            log.append(t, RailPower(vdd, vcs, vio))
+        return log
+
+
+class PowerLogger:
+    """Samples a power source at the monitor poll rate."""
+
+    def __init__(self, poll_hz: float = 17.0):
+        if poll_hz <= 0:
+            raise ValueError("poll rate must be positive")
+        self.poll_hz = poll_hz
+
+    def record(
+        self, source: PowerSource, duration_s: float
+    ) -> PowerLog:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        log = PowerLog()
+        samples = int(duration_s * self.poll_hz)
+        for k in range(samples):
+            t = k / self.poll_hz
+            log.append(t, source(t))
+        return log

@@ -1,0 +1,73 @@
+"""Power supplies: bench units with remote sense, and on-board units.
+
+The paper used bench supplies for every study because (a) they offer
+finer setpoints over a wider range and (b) remote voltage sense
+compensates the IR drop across cables and board planes — only the
+on-board VDD regulator has remote sense. Reproducing the distinction
+matters for the voltage actually seen at the socket pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BenchSupply:
+    """A bench PSU with remote sense at the socket.
+
+    With remote sense the voltage at the sense point equals the
+    setpoint regardless of cable/plane drop (within compliance); the
+    only residual error is the supply's setpoint resolution.
+    """
+
+    name: str
+    setpoint_v: float
+    setpoint_resolution_v: float = 0.001
+    max_current_a: float = 10.0
+    remote_sense: bool = True
+    cable_resistance_ohm: float = 0.02
+
+    def voltage_at_load(self, current_a: float) -> float:
+        """Voltage delivered at the sense point under ``current_a``."""
+        if current_a < 0:
+            raise ValueError("current must be non-negative")
+        if current_a > self.max_current_a:
+            raise OverflowError(
+                f"{self.name}: {current_a:.2f}A exceeds supply limit"
+            )
+        setpoint = (
+            round(self.setpoint_v / self.setpoint_resolution_v)
+            * self.setpoint_resolution_v
+        )
+        if self.remote_sense:
+            return setpoint
+        return setpoint - current_a * self.cable_resistance_ohm
+
+    def set_voltage(self, volts: float) -> None:
+        if volts <= 0:
+            raise ValueError("setpoint must be positive")
+        self.setpoint_v = volts
+
+
+@dataclass
+class OnBoardSupply:
+    """On-board regulator: coarser setpoints, no remote sense except
+    the VDD unit (per the board design)."""
+
+    name: str
+    setpoint_v: float
+    setpoint_resolution_v: float = 0.0125
+    plane_resistance_ohm: float = 0.008
+    remote_sense: bool = False
+
+    def voltage_at_load(self, current_a: float) -> float:
+        if current_a < 0:
+            raise ValueError("current must be non-negative")
+        setpoint = (
+            round(self.setpoint_v / self.setpoint_resolution_v)
+            * self.setpoint_resolution_v
+        )
+        if self.remote_sense:
+            return setpoint
+        return setpoint - current_a * self.plane_resistance_ohm

@@ -1,0 +1,67 @@
+"""Sense resistors and I2C voltage monitors.
+
+Current into each Piton rail is measured as the voltage drop across a
+sense resistor bridging split power planes; voltages are read by I2C
+monitor devices at the socket pins and on either side of each sense
+resistor. The monitors quantize (ADC LSB) and add electrical noise —
+which is where the paper's error bars come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SenseResistor:
+    """A precision shunt in series with one rail."""
+
+    ohms: float = 0.005
+    tolerance: float = 0.001  # 0.1% parts
+
+    def __post_init__(self) -> None:
+        if self.ohms <= 0:
+            raise ValueError("sense resistance must be positive")
+
+    def drop_v(self, current_a: float) -> float:
+        return current_a * self.ohms
+
+
+class VoltageMonitor:
+    """One I2C monitor channel: quantized, noisy voltage readings."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        lsb_v: float = 0.25e-3,
+        noise_sigma_v: float = 0.12e-3,
+    ):
+        self.rng = rng
+        self.lsb_v = lsb_v
+        self.noise_sigma_v = noise_sigma_v
+
+    def read(self, true_volts: float) -> float:
+        noisy = true_volts + self.rng.normal(0.0, self.noise_sigma_v)
+        return round(noisy / self.lsb_v) * self.lsb_v
+
+
+class CurrentSenseChannel:
+    """Differential monitor across a sense resistor -> amperes."""
+
+    def __init__(
+        self,
+        resistor: SenseResistor,
+        rng: np.random.Generator,
+        lsb_v: float = 10e-6,
+        noise_sigma_v: float = 5e-6,
+    ):
+        self.resistor = resistor
+        self.high = VoltageMonitor(rng, lsb_v, noise_sigma_v)
+        self.low = VoltageMonitor(rng, lsb_v, noise_sigma_v)
+
+    def read_current_a(self, true_current_a: float, rail_v: float) -> float:
+        drop = self.resistor.drop_v(true_current_a)
+        measured_drop = self.high.read(rail_v + drop) - self.low.read(rail_v)
+        return measured_drop / self.resistor.ohms

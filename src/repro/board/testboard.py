@@ -1,0 +1,164 @@
+"""The assembled experimental system (paper Figure 3).
+
+:class:`PitonTestBoard` wires supplies, sense resistors, and monitors;
+:class:`ExperimentalSystem` adds the chip (a persona + power model),
+the cooling stack, and the measurement protocol, exposing the
+operations every experiment performs: set the operating point, run a
+workload's event ledger through the power model, let the die settle
+thermally, and take the standard 128-sample measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.params import DEFAULT_MEASUREMENT, MeasurementDefaults
+from repro.board.monitor import MeasurementProtocol, RailMeasurement
+from repro.board.psu import BenchSupply
+from repro.power.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.power.chip_power import ChipPowerModel, OperatingPoint, RailPower
+from repro.silicon.variation import CHIP2, ChipPersona
+from repro.thermal.cooling import STOCK_HEATSINK_FAN, CoolingSetup
+from repro.util.events import EventLedger
+from repro.util.rng import RngFactory
+
+
+@dataclass
+class PitonTestBoard:
+    """Rails and instruments of the custom PCB."""
+
+    rngs: RngFactory = field(default_factory=lambda: RngFactory(0))
+    vdd_supply: BenchSupply = field(
+        default_factory=lambda: BenchSupply("VDD bench", 1.00)
+    )
+    vcs_supply: BenchSupply = field(
+        default_factory=lambda: BenchSupply("VCS bench", 1.05)
+    )
+    vio_supply: BenchSupply = field(
+        default_factory=lambda: BenchSupply("VIO bench", 1.80)
+    )
+
+    def protocol(self) -> MeasurementProtocol:
+        return MeasurementProtocol(self.rngs.stream("monitor"))
+
+    def set_rails(self, vdd: float, vcs: float, vio: float = 1.80) -> None:
+        self.vdd_supply.set_voltage(vdd)
+        self.vcs_supply.set_voltage(vcs)
+        self.vio_supply.set_voltage(vio)
+
+    def rail_voltages(self) -> dict[str, float]:
+        """Voltages at the socket pins (remote sense holds setpoints)."""
+        return {
+            "vdd": self.vdd_supply.voltage_at_load(0.0),
+            "vcs": self.vcs_supply.voltage_at_load(0.0),
+            "vio": self.vio_supply.voltage_at_load(0.0),
+        }
+
+
+class ExperimentalSystem:
+    """Board + chip + cooling: the thing experiments drive."""
+
+    def __init__(
+        self,
+        persona: ChipPersona = CHIP2,
+        calib: Calibration = DEFAULT_CALIBRATION,
+        cooling: CoolingSetup = STOCK_HEATSINK_FAN,
+        defaults: MeasurementDefaults = DEFAULT_MEASUREMENT,
+        seed: int = 0,
+    ):
+        self.persona = persona
+        self.calib = calib
+        self.cooling = cooling
+        self.defaults = defaults
+        self.board = PitonTestBoard(rngs=RngFactory(seed))
+        self.board.set_rails(defaults.vdd, defaults.vcs, defaults.vio)
+        self.power_model = ChipPowerModel(persona, calib)
+        self.freq_hz = defaults.core_clock_hz
+        self._protocol = self.board.protocol()
+
+    # ----------------------------------------------------------- configuration
+    def set_operating_point(
+        self, vdd: float, vcs: float, freq_hz: float, vio: float = 1.80
+    ) -> None:
+        self.board.set_rails(vdd, vcs, vio)
+        self.freq_hz = freq_hz
+
+    def operating_point(self, temp_c: float) -> OperatingPoint:
+        rails = self.board.rail_voltages()
+        return OperatingPoint(
+            vdd=rails["vdd"],
+            vcs=rails["vcs"],
+            vio=rails["vio"],
+            freq_hz=self.freq_hz,
+            temp_c=temp_c,
+        )
+
+    # --------------------------------------------------------------- thermal
+    def settle_temperature(
+        self,
+        ledger: EventLedger | None = None,
+        window_cycles: float | None = None,
+    ) -> float:
+        """Die temperature once the power-thermal loop settles."""
+        ambient = self.cooling.ambient_c
+        temp = ambient
+        for _ in range(100):
+            power = self._true_power(temp, ledger, window_cycles).total_w
+            new_temp = ambient + self.cooling.r_ja * power
+            if abs(new_temp - temp) < 0.01:
+                return new_temp
+            temp += 0.5 * (new_temp - temp)
+        return temp
+
+    def _true_power(
+        self,
+        temp_c: float,
+        ledger: EventLedger | None,
+        window_cycles: float | None,
+    ) -> RailPower:
+        op = self.operating_point(temp_c)
+        power = self.power_model.idle_power(op)
+        if ledger is not None:
+            if window_cycles is None:
+                raise ValueError("workload power needs a cycle window")
+            power = power + self.power_model.event_power(
+                ledger, window_cycles, op
+            )
+        return power
+
+    # ------------------------------------------------------------ measurement
+    def measure_static(self) -> RailMeasurement:
+        """Inputs and clocks grounded (Table V 'static')."""
+        # No clock, (almost) no self-heating: settle at static power.
+        temp = self.cooling.ambient_c
+        for _ in range(50):
+            power = self.power_model.static_power(
+                self.operating_point(temp)
+            ).total_w
+            temp = self.cooling.ambient_c + self.cooling.r_ja * power
+        power = self.power_model.static_power(self.operating_point(temp))
+        return self._protocol.measure_steady(power, self.board.rail_voltages())
+
+    def measure_idle(self) -> RailMeasurement:
+        """Clocks driven, resets released, no activity (Table V 'idle')."""
+        return self.measure_workload(None, None)
+
+    def measure_workload(
+        self,
+        ledger: EventLedger | None,
+        window_cycles: float | None,
+    ) -> RailMeasurement:
+        """The standard steady-state measurement of a running workload."""
+        temp = self.settle_temperature(ledger, window_cycles)
+        power = self._true_power(temp, ledger, window_cycles)
+        return self._protocol.measure_steady(power, self.board.rail_voltages())
+
+    def true_total_power_w(
+        self,
+        ledger: EventLedger | None = None,
+        window_cycles: float | None = None,
+    ) -> float:
+        """Noise-free model power at the settled temperature (for
+        tests and cross-checks, not for experiment outputs)."""
+        temp = self.settle_temperature(ledger, window_cycles)
+        return self._true_power(temp, ledger, window_cycles).total_w

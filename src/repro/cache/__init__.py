@@ -1,0 +1,42 @@
+"""Cache hierarchy and directory-based MESI coherence.
+
+Implements Piton's memory system faithfully at the transaction level:
+
+* per-tile private hierarchy — 16KB L1I, 8KB write-through L1D, and the
+  8KB write-back L1.5 that encapsulates it (``hierarchy``),
+* a distributed, shared L2 (64KB slice per tile) with an integrated
+  directory implementing MESI over three virtual networks (``l2``,
+  ``system``),
+* configurable line-to-slice homing via low/middle/high address bits
+  (``addressing``), the knob the paper's Table VII experiment turns to
+  steer accesses at local versus remote slices,
+* a named-constant latency composition (``latency``) whose totals
+  reproduce Table VII: 3-cycle L1 hits, 34-cycle local L2 hits,
+  2-cycles-per-hop remote penalties, and ~424-cycle L2 misses.
+
+Timing is analytic (hop counts priced via the floorplan) while *state*
+is exact: real tag arrays, real sharer sets, real writebacks. The
+flit-level NoC simulator in :mod:`repro.noc` is used for the NoC energy
+study and cross-checked against these analytic latencies in tests.
+"""
+
+from repro.cache.addressing import AddressMap, Interleave
+from repro.cache.coherence import CoherenceError, DirectoryEntry, MesiState
+from repro.cache.latency import MemoryLatencyModel
+from repro.cache.setassoc import AccessResult, SetAssocCache
+from repro.cache.stats import CacheStats
+from repro.cache.system import CoherentMemorySystem, MemoryAccessOutcome
+
+__all__ = [
+    "AddressMap",
+    "Interleave",
+    "CoherenceError",
+    "DirectoryEntry",
+    "MesiState",
+    "MemoryLatencyModel",
+    "AccessResult",
+    "SetAssocCache",
+    "CacheStats",
+    "CoherentMemorySystem",
+    "MemoryAccessOutcome",
+]

@@ -1,0 +1,137 @@
+"""Coherence Domain Restriction (Fu, Nguyen & Wentzlaff, MICRO-48).
+
+Piton's L2 implements CDR: shared memory is restricted to software-
+defined *coherence domains* — subsets of cores (possibly spanning
+chips) allowed to share a region. The paper lists CDR among the
+mechanisms its L2 carries (Section II); this module implements the
+mechanism so multi-tenant experiments can use it:
+
+* :class:`CoherenceDomain` — a named set of member tiles;
+* :class:`CdrRegistry` — maps address regions to domains and answers
+  the enforcement question *may tile T touch address A?*;
+* :class:`CdrViolation` — raised when a tile reaches outside its
+  domains, the hardware trap CDR specifies.
+
+Enforcement hooks into :class:`~repro.cache.system.CoherentMemorySystem`
+via the optional ``cdr`` argument; when absent, the chip behaves as an
+unrestricted single domain (the paper's configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class CdrViolation(RuntimeError):
+    """A memory operation crossed its coherence domain."""
+
+
+@dataclass
+class CoherenceDomain:
+    """A software-defined sharing domain."""
+
+    domain_id: int
+    name: str
+    members: set[int] = field(default_factory=set)
+
+    def admit(self, tile: int) -> None:
+        self.members.add(tile)
+
+    def evict_member(self, tile: int) -> None:
+        self.members.discard(tile)
+
+    def __contains__(self, tile: int) -> bool:
+        return tile in self.members
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open address range [base, base + size)."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError("region must have base >= 0 and size > 0")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class CdrRegistry:
+    """Domain and region bookkeeping plus the enforcement check."""
+
+    def __init__(self):
+        self._domains: dict[int, CoherenceDomain] = {}
+        self._regions: list[tuple[Region, int]] = []
+        self._next_id = 0
+
+    # -------------------------------------------------------------- domains
+    def create_domain(
+        self, name: str, members: Iterable[int] = ()
+    ) -> CoherenceDomain:
+        domain = CoherenceDomain(self._next_id, name, set(members))
+        self._domains[domain.domain_id] = domain
+        self._next_id += 1
+        return domain
+
+    def domain(self, domain_id: int) -> CoherenceDomain:
+        try:
+            return self._domains[domain_id]
+        except KeyError:
+            raise KeyError(f"no domain {domain_id}") from None
+
+    @property
+    def domains(self) -> list[CoherenceDomain]:
+        return list(self._domains.values())
+
+    # -------------------------------------------------------------- regions
+    def assign_region(
+        self, domain: CoherenceDomain, base: int, size: int
+    ) -> Region:
+        """Bind [base, base+size) to ``domain``. Regions must not
+        overlap (each line has exactly one home domain)."""
+        region = Region(base, size)
+        for existing, _ in self._regions:
+            if region.overlaps(existing):
+                raise ValueError(
+                    f"region {region} overlaps existing {existing}"
+                )
+        if domain.domain_id not in self._domains:
+            raise KeyError("unknown domain")
+        self._regions.append((region, domain.domain_id))
+        return region
+
+    def domain_of_address(self, addr: int) -> CoherenceDomain | None:
+        for region, domain_id in self._regions:
+            if region.contains(addr):
+                return self._domains[domain_id]
+        return None
+
+    # ---------------------------------------------------------- enforcement
+    def check(self, tile: int, addr: int) -> None:
+        """Raise :class:`CdrViolation` if ``tile`` may not touch
+        ``addr``. Unassigned addresses are globally shared (the
+        default domain semantics)."""
+        domain = self.domain_of_address(addr)
+        if domain is not None and tile not in domain:
+            raise CdrViolation(
+                f"tile {tile} touched {addr:#x} owned by domain "
+                f"{domain.name!r} (members {sorted(domain.members)})"
+            )
+
+    def allowed_sharers(self, addr: int, all_tiles: int) -> set[int]:
+        """The tiles that may ever appear in the directory for a line."""
+        domain = self.domain_of_address(addr)
+        if domain is None:
+            return set(range(all_tiles))
+        return set(domain.members)

@@ -1,0 +1,67 @@
+"""Named-constant latency composition for the memory system.
+
+Table VII's measured latencies decompose exactly onto this model:
+
+* L1 hit: 3 cycles (the T1 load-use latency, Table VI),
+* local L2 hit: 34 cycles = L1 detect + L1.5 lookup + NoC inject/eject
+  + L2 access (tag + data + directory) + line fills on the way back,
+* remote L2 hit: + 1 cycle per hop each way and + 1 cycle per turn each
+  way (the NoC routers' documented timing), giving 42 cycles at 4 hops
+  (straight-line) and 52 at 8 hops (one turn each way),
+* L2 miss: + the off-chip round trip (~390 cycles on average, modelled
+  in :mod:`repro.chip.offchip`), totalling ~424 cycles.
+
+Each component is a named field so the Figure 15 breakdown and the
+Table VII totals come from the *same* numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import PitonConfig
+
+
+@dataclass(frozen=True)
+class MemoryLatencyModel:
+    """Cycle costs of the on-chip memory-system components."""
+
+    l1_hit: int = 3  # Table VI: ldx L1 hit
+    l15_lookup: int = 5  # CCX crossing + L1.5 tag/data
+    noc_inject_eject: int = 4  # NIU entry/exit, both ends combined
+    l2_access: int = 12  # L2 tag + directory + data array
+    fill: int = 10  # L2->L1.5 and L1.5->L1 line fills
+    hop: int = 1  # per mesh hop (paper: one cycle per hop)
+    turn: int = 1  # extra cycle when the route turns
+    store_buffer: int = 10  # Table VI: stx drain latency
+
+    def l2_hit(self, hops: int, turns: int) -> int:
+        """Round-trip latency of an L1/L1.5 miss that hits in an L2 slice
+        ``hops`` away over a route with ``turns`` dimension changes."""
+        base = (
+            self.l1_hit
+            + self.l15_lookup
+            + self.noc_inject_eject
+            + self.l2_access
+            + self.fill
+        )
+        return base + 2 * (hops * self.hop + turns * self.turn)
+
+    def local_l2_hit(self) -> int:
+        return self.l2_hit(0, 0)
+
+    def l2_miss(self, hops: int, turns: int, offchip_cycles: int) -> int:
+        """L2 miss: the L2-hit path plus the off-chip round trip."""
+        return self.l2_hit(hops, turns) + offchip_cycles
+
+
+def default_latency_model(config: PitonConfig | None = None) -> MemoryLatencyModel:
+    """The shipped model; ``config`` reserved for derived variants."""
+    del config
+    return MemoryLatencyModel()
+
+
+# Table VII cross-checks: these identities are also asserted in tests.
+assert MemoryLatencyModel().local_l2_hit() == 34
+assert MemoryLatencyModel().l2_hit(4, 0) == 42
+assert MemoryLatencyModel().l2_hit(8, 1) == 52

@@ -1,0 +1,26 @@
+"""Chip- and system-level composition: tiles, chip bridge, chipset, DRAM.
+
+The experimental system of the paper (Figure 3) is a Piton chip socketed
+on a test board, a gateway FPGA passing the chip bridge through an FMC
+connector, and a chipset FPGA implementing the chip-bridge demux, north
+bridge, DDR3 DRAM controller, and south-bridge I/O. This package models
+that whole path: the Figure 15 latency segments, the chip bridge's
+bandwidth mismatch (the 7-valid-flits-per-47-cycles pattern of the NoC
+study), DDR3 bank/row timing with queueing (which is what turns the
+nominal ~395-cycle round trip into the measured 424-cycle average), and
+the VIO-rail pad activity that the SPEC power traces expose.
+"""
+
+from repro.chip.chipbridge import ChipBridge
+from repro.chip.dram import DdrTimings, DramModel
+from repro.chip.offchip import LatencySegment, OffChipPath
+from repro.chip.chipset import Chipset
+
+__all__ = [
+    "ChipBridge",
+    "DdrTimings",
+    "DramModel",
+    "LatencySegment",
+    "OffChipPath",
+    "Chipset",
+]

@@ -1,0 +1,125 @@
+"""DDR3 DRAM timing model (the Genesys2 chipset's 1GB, 32-bit DIMM).
+
+Models what the paper's Table VIII and Section IV-I describe:
+
+* DDR3 at 800 MHz (1600 MT/s) — below the devices' 933 MHz rating due
+  to the Xilinx controller limitation,
+* timings quantized to controller cycles: 12-12-12 at 800 MHz = 15 ns,
+  exactly the effective nanosecond timings of the T2000's DDR2,
+* a 32-bit data bus, so every 64B line costs *two* bursts ("requires
+  the Piton system to make two DRAM accesses for each memory request"),
+* open-page row-buffer policy over 8 banks, plus FIFO queueing at the
+  single channel — the queueing is what produces contention when many
+  cores miss concurrently (the Table VII L2-miss energy scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.events import EventLedger
+
+
+@dataclass(frozen=True)
+class DdrTimings:
+    """DDR3 timing parameters, in DRAM-clock cycles at ``clock_hz``."""
+
+    clock_hz: float = 800e6
+    cl: int = 12  # CAS latency
+    trcd: int = 12  # RAS-to-CAS
+    trp: int = 12  # precharge
+    burst_beats: int = 8  # BL8
+    data_bits: int = 32
+
+    @property
+    def ns_per_cycle(self) -> float:
+        return 1e9 / self.clock_hz
+
+    def row_hit_ns(self) -> float:
+        """Column access + burst transfer."""
+        # Data transfers on both clock edges: burst_beats/2 clock cycles.
+        return (self.cl + self.burst_beats / 2) * self.ns_per_cycle
+
+    def row_miss_ns(self) -> float:
+        """Precharge + activate + column access + burst transfer."""
+        return (
+            self.trp + self.trcd + self.cl + self.burst_beats / 2
+        ) * self.ns_per_cycle
+
+    def burst_bytes(self) -> int:
+        return self.data_bits // 8 * self.burst_beats
+
+
+class DramModel:
+    """Single-channel, multi-bank DRAM with open rows and a FIFO queue.
+
+    ``access`` is called once per *burst*; a 64B line needs two. Time is
+    expressed in core-clock cycles (the caller supplies the conversion)
+    so queueing interacts correctly with the simulator's clock.
+    """
+
+    #: Fixed memory-controller processing per burst, ns (Xilinx MIG IP
+    #: request pipeline at its 200 MHz controller clock).
+    CONTROLLER_NS = 55.0
+    REFRESH_INTERVAL_NS = 7_800.0  # tREFI
+    REFRESH_NS = 160.0  # tRFC
+
+    def __init__(
+        self,
+        timings: DdrTimings | None = None,
+        banks: int = 8,
+        row_bytes: int = 4096,
+        ledger: EventLedger | None = None,
+    ):
+        self.timings = timings or DdrTimings()
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.ledger = ledger if ledger is not None else EventLedger()
+        self._open_rows: dict[int, int] = {}
+        self._busy_until_ns = 0.0
+        self._next_refresh_ns = self.REFRESH_INTERVAL_NS
+        self.stats_row_hits = 0
+        self.stats_row_misses = 0
+        self.stats_bursts = 0
+
+    def _bank_and_row(self, addr: int) -> tuple[int, int]:
+        row = addr // self.row_bytes
+        return row % self.banks, row // self.banks
+
+    def access_ns(self, addr: int, now_ns: float, write: bool = False) -> float:
+        """Service one burst at ``addr`` arriving at ``now_ns``.
+
+        Returns the completion time in ns (absolute). Queueing delay is
+        the gap between arrival and when the channel frees up.
+        """
+        del write  # reads and writes share timing at this fidelity
+        self.stats_bursts += 1
+        self.ledger.record("dram.burst")
+        start = max(now_ns, self._busy_until_ns)
+        # Refresh steals the channel periodically.
+        if start >= self._next_refresh_ns:
+            start += self.REFRESH_NS
+            self._next_refresh_ns += self.REFRESH_INTERVAL_NS
+            self.ledger.record("dram.refresh")
+        bank, row = self._bank_and_row(addr)
+        if self._open_rows.get(bank) == row:
+            self.stats_row_hits += 1
+            service = self.timings.row_hit_ns()
+        else:
+            self.stats_row_misses += 1
+            service = self.timings.row_miss_ns()
+            self._open_rows[bank] = row
+        service += self.CONTROLLER_NS
+        done = start + service
+        self._busy_until_ns = done
+        return done
+
+    def line_access_ns(
+        self, addr: int, now_ns: float, line_bytes: int = 64
+    ) -> float:
+        """Fetch a whole cache line: ceil(line/burst) sequential bursts."""
+        bursts = max(1, -(-line_bytes // self.timings.burst_bytes()))
+        done = now_ns
+        for i in range(bursts):
+            done = self.access_ns(addr + i * self.timings.burst_bytes(), done)
+        return done

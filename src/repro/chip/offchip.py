@@ -1,0 +1,141 @@
+"""The Figure 15 off-chip memory path.
+
+Composes the full journey of an L2 miss from tile 0 to DRAM and back as
+named latency segments, each normalized to core-clock cycles exactly as
+the paper presents them. The segment list *is* the Figure 15
+reproduction; :class:`OffChipPath` is also the live off-chip model the
+coherent memory system calls on every L2 miss, adding DDR3 bank/row
+behaviour and channel queueing on top of the fixed segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.arch.params import PitonConfig
+from repro.chip.chipbridge import ChipBridge
+from repro.chip.dram import DramModel
+from repro.util.events import EventLedger
+
+#: Extra on-chip cycles an L2 *miss* spends versus the 34-cycle hit
+#: path: Figure 15's tile-array segments total 28 (miss detect) + 17
+#: (L2 + L1 fills) = 45.
+ONCHIP_MISS_OVERHEAD = 45 - 34
+
+
+@dataclass(frozen=True)
+class LatencySegment:
+    """One hop of the Figure 15 breakdown, in core-clock cycles."""
+
+    name: str
+    cycles: int
+    component: str  # which board/system component owns it
+    direction: str  # "request" | "response" | "both"
+
+
+#: The Figure 15 breakdown at the default 500.05 MHz core clock. The
+#: tile-array segments (28 and 17 cycles) live in the on-chip latency
+#: model; DRAM is dynamic; everything else is fixed pipeline/AFIFO cost.
+FIG15_SEGMENTS: tuple[LatencySegment, ...] = (
+    LatencySegment("L1 miss + L2 miss", 28, "tile array", "request"),
+    LatencySegment("AFIFO + mux", 5, "chip bridge", "request"),
+    LatencySegment("buf FFs + AFIFO", 39, "gateway FPGA", "request"),
+    LatencySegment("buf FFs + AFIFO", 9, "FMC", "request"),
+    LatencySegment("chip bridge demux", 11, "chipset FPGA", "request"),
+    LatencySegment("buf FFs + route", 8, "north bridge", "request"),
+    LatencySegment("AFIFO + buf FFs + req send", 16, "DRAM ctl", "request"),
+    LatencySegment("mem ctl + DRAM access (x2)", 140, "DRAM", "both"),
+    LatencySegment("32-bit bus data serialization", 21, "DRAM ctl", "response"),
+    LatencySegment("resp process + AFIFO", 11, "DRAM ctl", "response"),
+    LatencySegment("buf FFs + mux", 6, "north bridge", "response"),
+    LatencySegment("buf FFs + mux", 12, "chipset FPGA", "response"),
+    LatencySegment("buf FFs + AFIFO", 63, "gateway FPGA", "response"),
+    LatencySegment("buf FFs + AFIFO", 9, "FMC", "response"),
+    LatencySegment("L2 fill + L1 fill", 17, "tile array", "response"),
+)
+
+
+def fig15_total_cycles() -> int:
+    """Nominal round trip (the paper quotes ~395 cycles = ~790 ns)."""
+    return sum(s.cycles for s in FIG15_SEGMENTS)
+
+
+# Flits per off-chip message: a miss request (3 flits out) and the
+# 64B-line response (1 header + 8 data flits back).
+REQUEST_FLITS = 3
+LINE_RESPONSE_FLITS = 9
+
+
+class OffChipPath:
+    """Live off-chip model: fixed segments + dynamic DRAM + queueing.
+
+    Instances are callable with the signature the coherent memory
+    system expects: ``path(line_addr, write, now_cycles) -> cycles``.
+    """
+
+    def __init__(
+        self,
+        config: PitonConfig | None = None,
+        ledger: EventLedger | None = None,
+        dram: DramModel | None = None,
+    ):
+        self.config = config or PitonConfig()
+        self.ledger = ledger if ledger is not None else EventLedger()
+        self.dram = dram or DramModel(ledger=self.ledger)
+        self.bridge = ChipBridge(self.config, self.ledger)
+        self.core_clock_hz = 500.05e6
+        self.requests = 0
+        self.total_cycles = 0
+
+    # Fixed pipeline cycles outside the tile array and outside DRAM.
+    @property
+    def fixed_transit_cycles(self) -> int:
+        return sum(
+            s.cycles
+            for s in FIG15_SEGMENTS
+            if s.component not in ("tile array", "DRAM")
+        )
+
+    def set_core_clock(self, hz: float) -> None:
+        if hz <= 0:
+            raise ValueError("core clock must be positive")
+        self.core_clock_hz = hz
+
+    def _cycles_to_ns(self, cycles: float) -> float:
+        return cycles * 1e9 / self.core_clock_hz
+
+    def _ns_to_cycles(self, ns: float) -> float:
+        return ns * self.core_clock_hz / 1e9
+
+    def __call__(
+        self, line_addr: int, write: bool = False, now: int = 0
+    ) -> int:
+        """Round-trip cycles for one 64B line fetch or writeback.
+
+        The returned count excludes the on-chip L2-hit path (the memory
+        system adds that) but includes the extra on-chip miss-handling
+        overhead, the fixed board transit, and the dynamic DRAM time
+        (bank state + channel queueing via the shared DRAM clock).
+        """
+        self.requests += 1
+        self.bridge.transfer_flits(REQUEST_FLITS)
+        self.bridge.transfer_flits(LINE_RESPONSE_FLITS)
+        self.ledger.record("chipset.request")
+
+        transit = self.fixed_transit_cycles
+        # The request reaches the DRAM controller after the request-side
+        # fixed segments.
+        request_side = sum(
+            s.cycles
+            for s in FIG15_SEGMENTS
+            if s.direction == "request" and s.component != "tile array"
+        )
+        arrival_ns = self._cycles_to_ns(now + request_side)
+        done_ns = self.dram.line_access_ns(
+            line_addr,
+            arrival_ns,
+            line_bytes=self.config.l2_slice.line_bytes,
+        )
+        dram_cycles = self._ns_to_cycles(done_ns - arrival_ns)
+        total = round(ONCHIP_MISS_OVERHEAD + transit + dram_cycles)
+        self.total_cycles += total
+        return total

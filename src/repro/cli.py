@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands mirror what a user of the real bench would do:
+
+* ``list``                      — enumerate the reproducible experiments
+* ``run <experiment>``          — regenerate one table/figure
+* ``measure [--persona NAME]``  — the Table V static/idle measurements
+* ``chart <experiment>``        — render a figure experiment as an
+  ASCII chart (line chart over its numeric series)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3, THERMAL_CHIP
+from repro.util.charts import line_chart
+
+PERSONAS = {
+    "chip1": CHIP1,
+    "chip2": CHIP2,
+    "chip3": CHIP3,
+    "thermal": THERMAL_CHIP,
+}
+
+#: Figure experiments with chartable series: id -> (series keys, y label).
+CHARTABLE = {
+    "fig9": (("chip1", "chip2", "chip3"), "MHz"),
+    "fig10": (("idle_total_mw", "static_total_mw"), "mW"),
+    "fig12": (("NSW", "HSW", "FSW", "FSWA"), "pJ"),
+    "fig13": (
+        ("Int_1tc", "Int_2tc", "HP_1tc", "HP_2tc", "Hist_1tc", "Hist_2tc"),
+        "mW",
+    ),
+    "fig16": (("vdd_mw", "vio_mw", "vcs_mw"), "mW"),
+}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for eid, (_, description) in EXPERIMENTS.items():
+        print(f"{eid:20s} {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = get_experiment(args.experiment)
+    start = time.perf_counter()
+    result = runner(quick=args.quick)
+    print(result.render())
+    print(f"\n[{args.experiment}: {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    from repro.system import PitonSystem
+
+    persona = PERSONAS[args.persona]
+    system = PitonSystem.default(persona=persona)
+    static = system.measure_static()
+    idle = system.measure_idle()
+    print(f"persona: {persona.name}")
+    print(f"static (VDD+VCS): {static.core.format(1e-3)} mW")
+    print(f"idle   (VDD+VCS): {idle.core.format(1e-3)} mW")
+    print(
+        "rails at idle: "
+        f"VDD {idle.vdd.format(1e-3)} / VCS {idle.vcs.format(1e-3)} / "
+        f"VIO {idle.vio.format(1e-3)} mW"
+    )
+    return 0
+
+
+def cmd_chart(args: argparse.Namespace) -> int:
+    if args.experiment not in CHARTABLE:
+        print(
+            f"no chart mapping for {args.experiment!r}; chartable: "
+            f"{sorted(CHARTABLE)}",
+            file=sys.stderr,
+        )
+        return 2
+    keys, y_label = CHARTABLE[args.experiment]
+    result = get_experiment(args.experiment)(quick=args.quick)
+    series = {k: result.series[k] for k in keys if k in result.series}
+    print(
+        line_chart(
+            series,
+            title=f"{result.experiment_id}: {result.title}",
+            y_label=y_label,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Piton power/energy characterization reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--quick", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    measure = sub.add_parser(
+        "measure", help="Table V static/idle measurement"
+    )
+    measure.add_argument(
+        "--persona", choices=sorted(PERSONAS), default="chip2"
+    )
+    measure.set_defaults(func=cmd_measure)
+
+    chart = sub.add_parser("chart", help="ASCII chart of a figure")
+    chart.add_argument("experiment", choices=sorted(CHARTABLE))
+    chart.add_argument("--quick", action="store_true")
+    chart.set_defaults(func=cmd_chart)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""OpenSPARC-T1-style core model: 6-stage, single-issue, in-order,
+two-way fine-grained multithreaded.
+
+The model is *functional + timing*: instructions really execute (register
+and memory values change), and the issue loop reproduces the T1 timing
+behaviours the paper's measurements hinge on —
+
+* round-robin thread selection among ready threads,
+* long-latency unit stalls (Table VI latencies),
+* the 8-entry store buffer with speculative issue and roll-back when
+  full (the paper's ``stx (F)`` vs ``stx (NF)`` distinction),
+* load-miss roll-back and thread stall until the memory system returns,
+* 3-cycle branch latency.
+
+Energy-relevant activity (instruction class, operand bit activity,
+rollbacks, active/stall cycles) is recorded into an
+:class:`~repro.util.events.EventLedger` for the power model to price.
+"""
+
+from repro.core.multicore import MulticoreEngine, SharedMemory
+from repro.core.pipeline import Core, CoreStats
+from repro.core.storebuffer import StoreBuffer
+from repro.core.thread import ThreadContext
+
+__all__ = [
+    "MulticoreEngine",
+    "SharedMemory",
+    "Core",
+    "CoreStats",
+    "StoreBuffer",
+    "ThreadContext",
+]

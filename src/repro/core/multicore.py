@@ -1,0 +1,180 @@
+"""Lockstep multicore engine and the shared functional memory.
+
+The engine steps every active core cycle-by-cycle against the shared
+coherent memory system. Idle gaps (all threads stalled on long
+latencies) are fast-forwarded, so the cost of simulation scales with
+instructions executed rather than cycles elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import PitonConfig
+from repro.cache.system import CoherentMemorySystem
+from repro.core.pipeline import Core
+from repro.isa.program import Program
+from repro.util.events import EventLedger
+
+
+class SharedMemory:
+    """Flat 64-bit-word architectural memory shared by all cores.
+
+    Addresses are byte addresses; reads/writes operate on the aligned
+    8-byte word containing the address (the ISA subset is ldx/stx only).
+    Unwritten memory reads as zero.
+    """
+
+    def __init__(self):
+        self._words: dict[int, int] = {}
+
+    @staticmethod
+    def _word(addr: int) -> int:
+        return addr >> 3
+
+    def read(self, addr: int) -> int:
+        return self._words.get(self._word(addr), 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._words[self._word(addr)] = value & ((1 << 64) - 1)
+
+    def load_image(self, image: dict[int, int]) -> None:
+        """Pre-load {byte_addr: value} pairs (test fixtures)."""
+        for addr, value in image.items():
+            self.write(addr, value)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    cycles: int
+    instructions: int
+    completed: bool
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class MulticoreEngine:
+    """Steps a set of cores in lockstep over shared memory."""
+
+    def __init__(
+        self,
+        config: PitonConfig | None = None,
+        ledger: EventLedger | None = None,
+        memsys: CoherentMemorySystem | None = None,
+        execution_drafting: bool = False,
+    ):
+        self.config = config or PitonConfig()
+        self.ledger = ledger if ledger is not None else EventLedger()
+        self.memsys = memsys or CoherentMemorySystem(
+            self.config, ledger=self.ledger
+        )
+        self.memory = SharedMemory()
+        self.cores: dict[int, Core] = {}
+        self.execution_drafting = execution_drafting
+        self.now = 0
+
+    def add_core(
+        self,
+        tile_id: int,
+        programs: list[Program],
+        init_regs: dict[int, int] | None = None,
+        init_fregs: dict[int, float] | None = None,
+    ) -> Core:
+        """Activate ``tile_id`` with one program per hardware thread.
+
+        ``init_regs``/``init_fregs`` pre-load architectural registers in
+        every thread — how the EPI assembly tests plant their minimum /
+        random / maximum operand values (the real tests do this with a
+        setup preamble; pre-loading keeps the measured loop pure).
+        """
+        if tile_id in self.cores:
+            raise ValueError(f"tile {tile_id} already active")
+        if not 0 <= tile_id < self.config.tile_count:
+            raise ValueError(f"tile {tile_id} out of range")
+        core = Core(
+            tile_id,
+            self.config,
+            self.memsys,
+            self.memory,
+            self.ledger,
+            programs,
+            execution_drafting=self.execution_drafting,
+        )
+        for thread in core.threads:
+            for reg, value in (init_regs or {}).items():
+                thread.write_int(reg, value)
+            for reg, value in (init_fregs or {}).items():
+                thread.write_fp(reg, value)
+        self.cores[tile_id] = core
+        return core
+
+    @property
+    def active_core_count(self) -> int:
+        return len(self.cores)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.stats.issued for c in self.cores.values())
+
+    def run(
+        self,
+        cycles: int | None = None,
+        until_done: bool = False,
+        max_cycles: int = 50_000_000,
+    ) -> RunResult:
+        """Run for ``cycles`` cycles, or until every thread finishes.
+
+        Returns cycle and instruction counts for the run window.
+        ``max_cycles`` bounds ``until_done`` so a livelocked workload
+        fails loudly instead of hanging.
+        """
+        if not self.cores:
+            raise RuntimeError("no active cores")
+        if cycles is None and not until_done:
+            raise ValueError("specify cycles or until_done")
+        start_cycle = self.now
+        start_instrs = self.total_instructions
+        deadline = None if cycles is None else self.now + cycles
+        cores = list(self.cores.values())
+
+        while True:
+            active = [c for c in cores if not c.done]
+            if not active:
+                break
+            if deadline is not None and self.now >= deadline:
+                break
+            if self.now - start_cycle >= max_cycles:
+                raise RuntimeError(
+                    f"workload did not finish within {max_cycles} cycles"
+                )
+            for core in active:
+                core.step(self.now)
+            still_active = [c for c in active if not c.done]
+            if not still_active:
+                self.now += 1
+                break
+            # Fast-forward across globally idle cycles; the skipped
+            # cycles are stall cycles for every still-active core.
+            next_now = min(c.next_event_cycle(self.now) for c in still_active)
+            if deadline is not None:
+                next_now = min(next_now, deadline)
+            skipped = next_now - self.now - 1
+            if skipped > 0:
+                for core in active:
+                    if not core.done:
+                        core.stats.cycles += skipped
+                        core.stats.stall_cycles += skipped
+                self.ledger.record(
+                    "core.stall_cycle", skipped * len(active)
+                )
+            self.now = max(next_now, self.now + 1)
+
+        return RunResult(
+            cycles=self.now - start_cycle,
+            instructions=self.total_instructions - start_instrs,
+            completed=all(c.done for c in cores),
+        )

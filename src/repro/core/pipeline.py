@@ -1,0 +1,221 @@
+"""The core issue pipeline: fine-grained MT timing + energy events.
+
+Timing rules (all from the paper / OpenSPARC T1 documentation):
+
+* one instruction issues per cycle, round-robin among *ready* threads;
+* a thread that issued a ``latency``-cycle instruction is not ready
+  again for ``latency`` cycles (single-issue, in-order, blocking);
+* loads speculate L1 hit: a hit costs the 3-cycle load-use latency; a
+  miss triggers a roll-back (energy event) and stalls the thread for
+  the memory system's computed latency;
+* stores issue speculatively into the 8-entry store buffer; a full
+  buffer forces a roll-back and replay (``stx (F)``);
+* the store buffer drains serially at the 10-cycle ``stx`` latency and
+  performs the real (coherent) L1.5 write at drain time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import PitonConfig
+from repro.cache.system import CoherentMemorySystem
+from repro.core.semantics import execute
+from repro.core.storebuffer import StoreBuffer, StoreEntry
+from repro.core.thread import ThreadContext
+from repro.isa.program import Program
+from repro.util.events import EventLedger
+
+#: Cycles to refill the pipeline after a speculative-issue roll-back
+#: (the 6-stage depth of the T1 pipeline).
+ROLLBACK_PENALTY = 6
+
+
+@dataclass
+class CoreStats:
+    """Per-core aggregate counters."""
+
+    cycles: int = 0
+    issued: int = 0
+    stall_cycles: int = 0
+    rollbacks: int = 0
+    store_buffer_rollbacks: int = 0
+    load_miss_rollbacks: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.issued / self.cycles
+
+
+class Core:
+    """One tile's core: threads, store buffer, and the issue loop."""
+
+    def __init__(
+        self,
+        tile_id: int,
+        config: PitonConfig,
+        memsys: CoherentMemorySystem,
+        memory,
+        ledger: EventLedger,
+        programs: list[Program],
+        execution_drafting: bool = False,
+    ):
+        if not 1 <= len(programs) <= config.threads_per_core:
+            raise ValueError(
+                f"core takes 1..{config.threads_per_core} thread programs"
+            )
+        self.tile_id = tile_id
+        self.config = config
+        self.memsys = memsys
+        self.memory = memory
+        self.ledger = ledger
+        self.execution_drafting = execution_drafting
+        self.threads = [
+            ThreadContext(thread_id=i, program=p)
+            for i, p in enumerate(programs)
+        ]
+        self.store_buffer = StoreBuffer(
+            config.store_buffer_entries, memsys.latency.store_buffer
+        )
+        self.stats = CoreStats()
+        self._rr_next = 0
+        self._last_issued_thread: int | None = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def done(self) -> bool:
+        return all(t.done for t in self.threads) and self.store_buffer.empty
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle at which this core can make progress."""
+        candidates = [
+            t.ready_at for t in self.threads if not t.done
+        ]
+        drain = self.store_buffer.next_event_cycle()
+        if drain is not None:
+            candidates.append(drain)
+        if not candidates:
+            return now + 1_000_000_000  # effectively never
+        return max(now + 1, min(candidates))
+
+    # ------------------------------------------------------------------- step
+    def step(self, now: int) -> None:
+        """Advance one cycle: drain stores, select a thread, issue."""
+        self.stats.cycles += 1
+        self._drain_stores(now)
+
+        thread = self._select_thread(now)
+        if thread is None:
+            if any(not t.done for t in self.threads):
+                self.stats.stall_cycles += 1
+                self.ledger.record("core.stall_cycle")
+            return
+
+        instr = thread.program[thread.pc]
+        info = instr.info
+
+        # Speculative store issue: detect a full buffer *before* the
+        # architectural write, roll back and replay later.
+        if info.is_store and self.store_buffer.full:
+            self._rollback(thread, now, kind="store_buffer")
+            return
+
+        outcome = execute(instr, thread, self.memory)
+        self.stats.issued += 1
+        thread.stats.instructions += 1
+        self.ledger.record("core.active_cycle")
+        self.ledger.record("core.fetch")
+        if (
+            self._last_issued_thread is not None
+            and self._last_issued_thread != thread.thread_id
+        ):
+            self.ledger.record("core.thread_switch")
+        self._last_issued_thread = thread.thread_id
+        drafted = self.execution_drafting and self._draftable(instr)
+        self.ledger.record(
+            f"instr.{info.instr_class.value}",
+            activity=outcome.activity,
+            n=0.5 if drafted else 1.0,
+        )
+
+        if info.is_store:
+            thread.stats.stores += 1
+            self.store_buffer.push(
+                StoreEntry(outcome.mem_addr, outcome.store_value,
+                           thread.thread_id),
+                now,
+            )
+            thread.ready_at = now + 1
+        elif info.is_load:
+            thread.stats.loads += 1
+            # RAW through the store buffer: a younger buffered store to
+            # the same word forwards its value to this load.
+            forwarded = self.store_buffer.forward_value(outcome.mem_addr)
+            if forwarded is not None:
+                thread.write_int(instr.rd, forwarded)
+            mem = self.memsys.load(self.tile_id, outcome.mem_addr, now)
+            if mem.level != "l1":
+                self.stats.load_miss_rollbacks += 1
+                self.stats.rollbacks += 1
+                thread.stats.rollbacks += 1
+                self.ledger.record("core.rollback")
+            thread.ready_at = now + mem.latency
+        elif outcome.is_atomic:
+            mem = self.memsys.atomic(self.tile_id, outcome.mem_addr, now)
+            thread.ready_at = now + mem.latency
+        elif info.is_branch:
+            thread.stats.branches += 1
+            if outcome.branch_taken:
+                thread.stats.branches_taken += 1
+                if outcome.branch_target is not None and (
+                    outcome.branch_target <= thread.pc
+                ):
+                    thread.stats.iterations += 1
+            thread.ready_at = now + info.latency
+        else:
+            thread.ready_at = now + info.latency
+
+    # ------------------------------------------------------------------ parts
+    def _drain_stores(self, now: int) -> None:
+        entry = self.store_buffer.drain_ready(now)
+        if entry is None:
+            return
+        # The store becomes architecturally visible at drain time.
+        self.memory.write(entry.addr, entry.value)
+        outcome = self.memsys.store(self.tile_id, entry.addr, now)
+        extra = outcome.latency - self.memsys.latency.store_buffer
+        if extra > 0 and self.store_buffer.next_event_cycle() is not None:
+            # Memory backpressure delays the next drain.
+            self.store_buffer._head_done_at += extra
+
+    def _select_thread(self, now: int) -> ThreadContext | None:
+        n = len(self.threads)
+        for offset in range(n):
+            idx = (self._rr_next + offset) % n
+            thread = self.threads[idx]
+            if not thread.done and thread.ready_at <= now:
+                self._rr_next = (idx + 1) % n
+                return thread
+        return None
+
+    def _rollback(self, thread: ThreadContext, now: int, kind: str) -> None:
+        """Speculative-issue failure: replay after the pipeline refills."""
+        self.stats.rollbacks += 1
+        self.stats.store_buffer_rollbacks += kind == "store_buffer"
+        thread.stats.rollbacks += 1
+        self.ledger.record("core.rollback")
+        # The replayed instructions burn fetch/decode energy again.
+        self.ledger.record("core.replay_bubble", ROLLBACK_PENALTY)
+        thread.ready_at = now + ROLLBACK_PENALTY
+
+    def _draftable(self, instr) -> bool:
+        """Execution Drafting: when both threads sit at the same PC of
+        the same program, the second execution drafts behind the first
+        and the front-end energy is shared. A simple, honest stand-in
+        for McKeown et al.'s MICRO-47 mechanism."""
+        if len(self.threads) < 2:
+            return False
+        a, b = self.threads[0], self.threads[1]
+        return a.program is b.program and a.pc == b.pc

@@ -1,0 +1,194 @@
+"""Functional semantics of the ISA subset.
+
+Executes one instruction against a thread context and a shared memory,
+returning what the pipeline needs for timing and energy: the effective
+address (for memory ops), branch outcome, and the operand bit patterns
+that drive the activity-factor energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.thread import ThreadContext
+from repro.isa.instructions import WORD_MASK
+from repro.isa.operands import bit_pattern
+from repro.isa.program import Instruction
+
+
+class SharedMemoryProtocol:
+    """Minimal interface semantics needs from memory (duck-typed)."""
+
+    def read(self, addr: int) -> int:  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def write(self, addr: int, value: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class ExecOutcome:
+    """Result of functionally executing one instruction."""
+
+    mem_addr: int | None = None
+    is_load: bool = False
+    is_store: bool = False
+    is_atomic: bool = False
+    store_value: int = 0
+    branch_taken: bool | None = None
+    branch_target: int | None = None
+    operand_bits: list[int] = field(default_factory=list)
+
+    @property
+    def activity(self) -> float:
+        """Mean datapath activity factor of the source operands."""
+        if not self.operand_bits:
+            return 0.0
+        total = sum(int(b).bit_count() for b in self.operand_bits)
+        return total / (64.0 * len(self.operand_bits))
+
+
+def _sign64(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+def execute(
+    instr: Instruction,
+    thread: ThreadContext,
+    memory: SharedMemoryProtocol,
+) -> ExecOutcome:
+    """Execute ``instr``, updating ``thread`` registers and PC.
+
+    Memory *values* move here, but memory *timing and coherence* are the
+    pipeline's job: loads read the architectural memory immediately
+    (correct because the coherent system serializes transactions), and
+    stores return their value for the store buffer to drain later.
+    """
+    op = instr.op
+    out = ExecOutcome()
+
+    if op == "nop":
+        thread.advance()
+        return out
+
+    if op == "set":
+        thread.write_int(instr.rd, instr.imm)
+        thread.advance()
+        return out
+
+    if op == "mov":
+        if instr.info.is_fp:
+            value = thread.read_fp(instr.rs1)
+            thread.write_fp(instr.rd, value)
+        else:
+            value = thread.read_int(instr.rs1)
+            thread.write_int(instr.rd, value)
+        out.operand_bits = [bit_pattern(value)]
+        thread.advance()
+        return out
+
+    if instr.info.is_branch:
+        value = thread.read_int(instr.rs1)
+        out.operand_bits = [bit_pattern(value)]
+        taken = (value == 0) if op == "beq" else (value != 0)
+        out.branch_taken = taken
+        out.branch_target = instr.target
+        if taken:
+            thread.jump(instr.target)
+        else:
+            thread.advance()
+        return out
+
+    if instr.info.is_load:
+        addr = (thread.read_int(instr.rs1) + (instr.imm or 0)) & WORD_MASK
+        value = memory.read(addr)
+        thread.write_int(instr.rd, value)
+        out.mem_addr = addr
+        out.is_load = True
+        out.operand_bits = [bit_pattern(value)]
+        thread.advance()
+        return out
+
+    if instr.info.is_store:
+        addr = (thread.read_int(instr.rs2) + (instr.imm or 0)) & WORD_MASK
+        value = thread.read_int(instr.rs1)
+        out.mem_addr = addr
+        out.is_store = True
+        out.store_value = value
+        out.operand_bits = [bit_pattern(value)]
+        thread.advance()
+        return out
+
+    if op == "cas":
+        addr = thread.read_int(instr.rs1) & WORD_MASK
+        compare = thread.read_int(instr.rs2)
+        swap = thread.read_int(instr.rd)
+        old = memory.read(addr)
+        if old == compare:
+            memory.write(addr, swap)
+        thread.write_int(instr.rd, old)
+        out.mem_addr = addr
+        out.is_atomic = True
+        out.operand_bits = [bit_pattern(compare), bit_pattern(old)]
+        thread.advance()
+        return out
+
+    if instr.info.is_fp:
+        a = thread.read_fp(instr.rs1)
+        b = thread.read_fp(instr.rs2)
+        out.operand_bits = [bit_pattern(a), bit_pattern(b)]
+        thread.write_fp(instr.rd, _fp_op(op, a, b))
+        thread.advance()
+        return out
+
+    # Integer two-source ALU / MUL / DIV.
+    a = thread.read_int(instr.rs1)
+    b = instr.imm if instr.rs2 is None else thread.read_int(instr.rs2)
+    b &= WORD_MASK
+    out.operand_bits = [bit_pattern(a), bit_pattern(b)]
+    thread.write_int(instr.rd, _int_op(op, a, b))
+    thread.advance()
+    return out
+
+
+def _int_op(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "sll":
+        return a << (b & 63)
+    if op == "srl":
+        return (a & WORD_MASK) >> (b & 63)
+    if op == "mulx":
+        return a * b
+    if op == "sdivx":
+        if b == 0:
+            return WORD_MASK  # SPARC would trap; saturate instead
+        q = abs(_sign64(a)) // abs(_sign64(b))
+        if (_sign64(a) < 0) != (_sign64(b) < 0):
+            q = -q
+        return q
+    raise ValueError(f"unhandled integer op {op!r}")
+
+
+def _fp_op(op: str, a: float, b: float) -> float:
+    kind = op[1:4]
+    if kind == "add":
+        return a + b
+    if kind == "sub":
+        return a - b
+    if kind == "mul":
+        return a * b
+    if kind == "div":
+        if b == 0.0:
+            return float("inf")
+        return a / b
+    raise ValueError(f"unhandled fp op {op!r}")

@@ -1,0 +1,77 @@
+"""Per-thread architectural state and run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import NUM_FP_REGS, NUM_INT_REGS, WORD_MASK
+from repro.isa.program import Program
+
+
+@dataclass
+class ThreadStats:
+    """Committed-work counters for one hardware thread."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    rollbacks: int = 0
+    iterations: int = 0  # incremented by backward taken branches
+
+    def merge(self, other: "ThreadStats") -> None:
+        self.instructions += other.instructions
+        self.loads += other.loads
+        self.stores += other.stores
+        self.branches += other.branches
+        self.branches_taken += other.branches_taken
+        self.rollbacks += other.rollbacks
+        self.iterations += other.iterations
+
+
+@dataclass
+class ThreadContext:
+    """One hardware thread: program, registers, and readiness.
+
+    ``ready_at`` is the next cycle at which the thread may issue.
+    ``done`` becomes True when the PC runs off the end of the program
+    (infinite-loop tests never finish; fixed-iteration runs do).
+    """
+
+    thread_id: int
+    program: Program
+    pc: int = 0
+    ready_at: int = 0
+    done: bool = False
+    regs: list[int] = field(default_factory=lambda: [0] * NUM_INT_REGS)
+    fregs: list[float] = field(default_factory=lambda: [0.0] * NUM_FP_REGS)
+    stats: ThreadStats = field(default_factory=ThreadStats)
+
+    def read_int(self, index: int) -> int:
+        if index == 0:
+            return 0  # %r0 is hard-wired zero, as on SPARC's %g0
+        return self.regs[index]
+
+    def write_int(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & WORD_MASK
+
+    def read_fp(self, index: int) -> float:
+        return self.fregs[index]
+
+    def write_fp(self, index: int, value: float) -> None:
+        self.fregs[index] = value
+
+    def advance(self) -> None:
+        """Move to the next sequential instruction."""
+        self.pc += 1
+        if self.pc >= len(self.program):
+            self.done = True
+
+    def jump(self, target: int) -> None:
+        self.pc = target
+
+    @property
+    def finished(self) -> bool:
+        return self.done

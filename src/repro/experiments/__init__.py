@@ -1,0 +1,12 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every module exposes ``run(quick=False) -> ExperimentResult``; ``quick``
+trades sweep density for runtime (used by the test suite — benchmarks
+run the full shapes). The registry maps experiment ids to runners so
+the benchmark harness and the examples can enumerate them.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]

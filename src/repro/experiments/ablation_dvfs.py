@@ -1,0 +1,74 @@
+"""Ablation: voltage/frequency scaling of workload energy.
+
+The paper characterizes Fmax-vs-VDD (Figure 9) and idle power vs
+voltage (Figure 10) but never combines them into the energy question a
+DVFS governor asks: *at which (V, Fmax(V)) point does a fixed amount of
+work cost the least energy?* This ablation runs the Int loop at each
+Figure 9 operating point and reports power, runtime, and energy for a
+fixed work quantum — exposing the classic race-to-idle-versus-
+voltage-scaling trade-off on the reproduced chip, where high leakage
+plus long runtimes punish very low voltages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.power.vf_curve import VfCurve
+from repro.silicon.variation import CHIP2
+from repro.system import PitonSystem
+from repro.workloads.microbench import int_tile
+
+VDD_SWEEP = (0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15)
+WORK_INSTRUCTIONS = 1e9  # the fixed work quantum, per core
+
+
+def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+    cores = cores if cores is not None else (4 if quick else 9)
+    sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
+    curve = VfCurve(CHIP2)
+
+    result = ExperimentResult(
+        experiment_id="ablation_dvfs",
+        title=f"Energy for fixed work vs DVFS point (Int on {cores} "
+        "cores, f = Fmax(VDD))",
+        headers=[
+            "VDD (V)",
+            "f (MHz)",
+            "Chip power (mW)",
+            "Runtime (ms)",
+            "Energy (mJ)",
+        ],
+    )
+    result.series["energy_mj"] = []
+    for vdd in sweep:
+        point = curve.boot_frequency(vdd)
+        system = PitonSystem.default(seed=43)
+        system.set_operating_point(vdd, vdd + 0.05, point.fmax_hz)
+        run_ = system.run_workload(
+            {t: int_tile() for t in range(cores)},
+            warmup_cycles=1_000,
+            window_cycles=3_000,
+        )
+        power_w = run_.measurement.core.value
+        ipc = run_.ipc / cores  # per-core
+        runtime_s = WORK_INSTRUCTIONS / (ipc * point.fmax_hz)
+        energy_j = power_w * runtime_s
+        result.rows.append(
+            (
+                vdd,
+                round(point.fmax_hz / 1e6, 1),
+                round(power_w * 1e3, 1),
+                round(runtime_s * 1e3, 2),
+                round(energy_j * 1e3, 2),
+            )
+        )
+        result.series["energy_mj"].append(energy_j * 1e3)
+
+    energies = result.series["energy_mj"]
+    best = sweep[energies.index(min(energies))]
+    result.series["optimal_vdd"] = [best]
+    result.notes.append(
+        f"energy-optimal point: VDD = {best:.2f} V — below it, leakage "
+        "integrated over the longer runtime wins; above it, CV^2 wins"
+    )
+    return result

@@ -1,0 +1,111 @@
+"""Figure 10 (and Table V): static and idle power versus voltage.
+
+For each (VDD, f) pair — f being the minimum of the three chips'
+maximum frequencies at that VDD, as in the paper — measure static
+power (clocks grounded) and idle power (clocks running), averaged
+across the three chip personas, split into VDD (core) and VCS (SRAM)
+static/dynamic contributions.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import DEFAULT_MEASUREMENT
+from repro.experiments.fig9_vf import VDD_SWEEP
+from repro.experiments.result import ExperimentResult
+from repro.power.vf_curve import VfCurve
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3
+from repro.system import PitonSystem
+
+PERSONAS = (CHIP1, CHIP2, CHIP3)
+
+#: Table V anchors (chip #2 at the Table III defaults).
+PAPER_TABLE5 = {"static_mw": 389.3, "idle_mw": 2015.3}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
+    curves = {p.name: VfCurve(p) for p in PERSONAS}
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Static and idle power vs (VDD, f), 3-chip average, "
+        "VDD/VCS split",
+        headers=[
+            "VDD (V)",
+            "f (MHz)",
+            "core static (mW)",
+            "SRAM static (mW)",
+            "core dynamic (mW)",
+            "SRAM dynamic (mW)",
+            "idle total (mW)",
+        ],
+    )
+    for key in (
+        "idle_total_mw",
+        "static_total_mw",
+        "core_static_mw",
+        "sram_static_mw",
+        "core_dynamic_mw",
+        "sram_dynamic_mw",
+    ):
+        result.series[key] = []
+
+    for vdd in sweep:
+        vcs = vdd + 0.05
+        freq_hz = (
+            min(
+                curves[p.name].boot_frequency(vdd).fmax_hz
+                for p in PERSONAS
+            )
+        )
+        stat_vdd = stat_vcs = dyn_vdd = dyn_vcs = 0.0
+        for persona in PERSONAS:
+            system = PitonSystem.default(persona=persona, seed=11)
+            system.set_operating_point(vdd, vcs, freq_hz)
+            static = system.measure_static()
+            idle = system.measure_idle()
+            stat_vdd += static.vdd.value / len(PERSONAS)
+            stat_vcs += static.vcs.value / len(PERSONAS)
+            dyn_vdd += (idle.vdd.value - static.vdd.value) / len(PERSONAS)
+            dyn_vcs += (idle.vcs.value - static.vcs.value) / len(PERSONAS)
+        idle_total = stat_vdd + stat_vcs + dyn_vdd + dyn_vcs
+        result.rows.append(
+            (
+                vdd,
+                round(freq_hz / 1e6, 2),
+                round(stat_vdd * 1e3, 1),
+                round(stat_vcs * 1e3, 1),
+                round(dyn_vdd * 1e3, 1),
+                round(dyn_vcs * 1e3, 1),
+                round(idle_total * 1e3, 1),
+            )
+        )
+        result.series["idle_total_mw"].append(idle_total * 1e3)
+        result.series["static_total_mw"].append((stat_vdd + stat_vcs) * 1e3)
+        result.series["core_static_mw"].append(stat_vdd * 1e3)
+        result.series["sram_static_mw"].append(stat_vcs * 1e3)
+        result.series["core_dynamic_mw"].append(dyn_vdd * 1e3)
+        result.series["sram_dynamic_mw"].append(dyn_vcs * 1e3)
+
+    # Table V: chip #2 at the Table III defaults.
+    chip2 = PitonSystem.default(seed=11)
+    chip2.set_operating_point(
+        DEFAULT_MEASUREMENT.vdd,
+        DEFAULT_MEASUREMENT.vcs,
+        DEFAULT_MEASUREMENT.core_clock_hz,
+    )
+    static = chip2.measure_static().core
+    idle = chip2.measure_idle().core
+    result.paper_reference = dict(PAPER_TABLE5)
+    result.series["table5_static_mw"] = [static.value * 1e3]
+    result.series["table5_idle_mw"] = [idle.value * 1e3]
+    result.notes.append(
+        f"Table V (chip #2): static {static.format(1e-3)} mW "
+        f"(paper {PAPER_TABLE5['static_mw']}), idle {idle.format(1e-3)} mW "
+        f"(paper {PAPER_TABLE5['idle_mw']})"
+    )
+    result.notes.append(
+        "expected shape: exponential growth with voltage/frequency; "
+        "SRAM dynamic power is a thin sliver of idle power"
+    )
+    return result

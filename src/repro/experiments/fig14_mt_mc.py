@@ -1,0 +1,204 @@
+"""Figure 14: multithreading versus multicore power and energy.
+
+For equal thread counts, compare 1 T/C on N cores (multicore) against
+2 T/C on N/2 cores (multithreading) for the three microbenchmarks,
+splitting power and energy into *active* and *active-cores-idle*
+portions exactly as the paper does: the idle share charged to a
+configuration is the full-chip idle power scaled by its active core
+fraction — multicore is charged double the idle power of
+multithreading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.result import ExperimentResult
+from repro.silicon.variation import CHIP3
+from repro.system import PitonSystem
+from repro.workloads.base import TileProgram
+from repro.workloads.microbench import (
+    PATTERN_A,
+    PATTERN_B,
+    hist_workload,
+    hp_thread_mapping,
+    hp_tile,
+    int_program,
+    microbench_core_ids,
+)
+
+BENCHMARKS = ("Int", "HP", "Hist")
+
+#: Iterations per thread for the finite (energy) runs.
+ITERATIONS = 400
+HIST_TOTAL_ELEMENTS = 1024
+
+
+@dataclass(frozen=True)
+class MtMcPoint:
+    benchmark: str
+    thread_count: int
+    config: str  # "1 T/C" or "2 T/C"
+    active_cores: int
+    total_power_w: float
+    active_power_w: float
+    idle_share_w: float
+    exec_cycles: int
+    active_energy_j: float
+    idle_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.active_energy_j + self.idle_energy_j
+
+
+def _finite_workload(
+    bench: str, cores: list[int], tpc: int
+) -> dict[int, TileProgram]:
+    if bench == "Int":
+        return {
+            c: TileProgram(
+                programs=[int_program(ITERATIONS)] * tpc,
+                init_regs={8: PATTERN_A, 9: PATTERN_B, 31: 1},
+            )
+            for c in cores
+        }
+    if bench == "HP":
+        mapping = hp_thread_mapping(cores, tpc)
+        return {
+            c: hp_tile(mapping[c], c, iterations=ITERATIONS) for c in cores
+        }
+    if bench == "Hist":
+        return hist_workload(
+            cores,
+            tpc,
+            total_elements=HIST_TOTAL_ELEMENTS,
+            repeat_forever=False,
+            iterations=1,
+        ).tiles
+    raise ValueError(f"unknown benchmark {bench!r}")
+
+
+def _measure_point(
+    system: PitonSystem,
+    idle_total_w: float,
+    bench: str,
+    threads: int,
+    tpc: int,
+) -> MtMcPoint:
+    active_cores = threads // tpc
+    cores = microbench_core_ids(active_cores)
+    workload = _finite_workload(bench, cores, tpc)
+    run = system.run_to_completion(workload)
+
+    total_w = run.measurement.core.value
+    idle_share = idle_total_w * active_cores / system.config.tile_count
+    active_w = total_w - idle_total_w  # activity above full-chip idle
+    exec_s = run.result.cycles / system.freq_hz
+    return MtMcPoint(
+        benchmark=bench,
+        thread_count=threads,
+        config=f"{tpc} T/C",
+        active_cores=active_cores,
+        total_power_w=active_w + idle_share,
+        active_power_w=active_w,
+        idle_share_w=idle_share,
+        exec_cycles=run.result.cycles,
+        active_energy_j=active_w * exec_s,
+        idle_energy_j=idle_share * exec_s,
+    )
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    thread_counts = [4, 8, 16, 24] if quick else list(range(2, 25, 2))
+    system = PitonSystem.default(persona=CHIP3, seed=17)
+    idle_total_w = system.measure_idle().core.value
+
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Multithreading (2 T/C) vs multicore (1 T/C) at equal "
+        "thread counts (chip #3)",
+        headers=[
+            "Benchmark",
+            "Threads",
+            "Config",
+            "Active cores",
+            "Power (mW)",
+            "Active power (mW)",
+            "Idle share (mW)",
+            "Exec (kcycles)",
+            "Energy (uJ)",
+        ],
+    )
+    points: list[MtMcPoint] = []
+    for bench in BENCHMARKS:
+        for threads in thread_counts:
+            for tpc in (1, 2):
+                if threads % tpc or threads // tpc > 25:
+                    continue
+                point = _measure_point(
+                    system, idle_total_w, bench, threads, tpc
+                )
+                points.append(point)
+                result.rows.append(
+                    (
+                        bench,
+                        threads,
+                        point.config,
+                        point.active_cores,
+                        round(point.total_power_w * 1e3, 1),
+                        round(point.active_power_w * 1e3, 1),
+                        round(point.idle_share_w * 1e3, 1),
+                        round(point.exec_cycles / 1e3, 1),
+                        round(point.total_energy_j * 1e6, 2),
+                    )
+                )
+                key = f"{bench}_{point.config.replace(' ', '')}"
+                result.series.setdefault(f"{key}_power_w", []).append(
+                    point.total_power_w
+                )
+                result.series.setdefault(f"{key}_energy_j", []).append(
+                    point.total_energy_j
+                )
+
+    # Headline comparisons the paper draws.
+    notes = _shape_notes(points)
+    result.notes.extend(notes)
+    result.paper_reference = {
+        "int_mt_more_energy": True,
+        "hp_mt_more_energy": True,
+        "hist_mt_more_efficient": True,
+        "mt_lower_power": True,
+    }
+    return result
+
+
+def _shape_notes(points: list[MtMcPoint]) -> list[str]:
+    notes = []
+    for bench in BENCHMARKS:
+        mc = {
+            p.thread_count: p
+            for p in points
+            if p.benchmark == bench and p.config == "1 T/C"
+        }
+        mt = {
+            p.thread_count: p
+            for p in points
+            if p.benchmark == bench and p.config == "2 T/C"
+        }
+        common = sorted(set(mc) & set(mt))
+        if not common:
+            continue
+        energy_ratio = sum(
+            mt[t].total_energy_j / mc[t].total_energy_j for t in common
+        ) / len(common)
+        power_ratio = sum(
+            mt[t].total_power_w / mc[t].total_power_w for t in common
+        ) / len(common)
+        notes.append(
+            f"{bench}: MT/MC mean energy ratio {energy_ratio:.2f}, "
+            f"mean power ratio {power_ratio:.2f} "
+            f"(paper: MT uses less power; MT uses more energy for "
+            f"Int/HP, less for Hist)"
+        )
+    return notes

@@ -1,0 +1,118 @@
+"""Figure 17: chip power versus package temperature by thread count.
+
+The Section IV-J setup: heat sink removed, core at 100.01 MHz with
+VDD=0.9V / VCS=0.95V, a different (unnamed) chip, ambient 20 C. The HP
+application runs on 0..50 threads while the fan angle sweeps the
+convective resistance, moving the package temperature; at each fixed
+point, power settles to the leakage-temperature fixed point. Power
+rises exponentially with temperature (leakage), offset upward by the
+active threads' dynamic power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+from repro.silicon.variation import THERMAL_CHIP
+from repro.system import PitonSystem
+from repro.thermal.cooling import no_heatsink_at_angle
+from repro.util.events import EventLedger
+from repro.workloads.microbench import hp_thread_mapping, hp_tile
+
+OPERATING = {"vdd": 0.90, "vcs": 0.95, "freq_hz": 100.01e6}
+THREAD_COUNTS = (0, 10, 20, 30, 40, 50)
+#: The paper sweeps temperature only within the stable band (36-56 C
+#: package); beyond ~80 degrees of tilt the 30+-thread configurations
+#: enter thermal runaway, so the sweep stops before it.
+FAN_ANGLES = tuple(float(a) for a in range(0, 76, 15))
+
+#: Figure 17's visible envelope for shape reference.
+PAPER_RANGE = {
+    "temp_c": (36.0, 56.0),
+    "power_mw": (500.0, 900.0),
+}
+
+
+def _hp_ledger(system: PitonSystem, threads: int) -> tuple[EventLedger, int]:
+    """Event rates for HP on ``threads`` threads (2 T/C mapping)."""
+    if threads == 0:
+        return EventLedger(), 1
+    cores = max(1, threads // 2)
+    tpc = 2 if threads >= 2 else 1
+    mapping = hp_thread_mapping(list(range(cores)), tpc)
+    workload = {c: hp_tile(mapping[c], c) for c in range(cores)}
+    run = system.run_workload(
+        workload, warmup_cycles=2_000, window_cycles=3_000
+    )
+    return run.ledger, run.window_cycles
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    thread_counts = THREAD_COUNTS[::2] if quick else THREAD_COUNTS
+    angles = FAN_ANGLES[::2] if quick else FAN_ANGLES
+    system = PitonSystem.default(persona=THERMAL_CHIP, seed=29)
+    system.set_operating_point(**OPERATING)
+    power_model = ChipPowerModel(THERMAL_CHIP, system.calib)
+
+    result = ExperimentResult(
+        experiment_id="fig17",
+        title="Chip power vs package temperature (no heat sink, "
+        "100.01 MHz, VDD=0.9V), fan-angle sweep",
+        headers=["Active threads"]
+        + [f"angle {a:.0f}" for a in angles]
+        + ["fit exp coeff (1/degC)"],
+    )
+
+    for threads in thread_counts:
+        ledger, window = _hp_ledger(system, threads)
+        temps, powers = [], []
+        for angle in angles:
+            cooling = no_heatsink_at_angle(angle)
+            # Solve the leakage-temperature fixed point under this
+            # cooling stack.
+            die_temp = cooling.ambient_c
+            for _ in range(100):
+                op = OperatingPoint(
+                    vdd=OPERATING["vdd"],
+                    vcs=OPERATING["vcs"],
+                    freq_hz=OPERATING["freq_hz"],
+                    temp_c=die_temp,
+                )
+                power = power_model.idle_power(op)
+                if threads:
+                    power = power + power_model.event_power(
+                        ledger, window, op
+                    )
+                new_temp = cooling.ambient_c + cooling.r_ja * power.total_w
+                if abs(new_temp - die_temp) < 0.01:
+                    break
+                if new_temp > 150.0:
+                    die_temp = 150.0  # thermal runaway; report capped
+                    break
+                die_temp += 0.5 * (new_temp - die_temp)
+            # The FLIR camera reads the package surface, not the die.
+            network = cooling.network()
+            surface = network.steady_state(power.total_w)[-1]
+            temps.append(surface)
+            powers.append(power.core_w * 1e3)
+        # Exponential fit: ln P = a + b T.
+        coeffs = np.polyfit(temps, np.log(powers), 1)
+        result.rows.append(
+            (
+                threads,
+                *(f"{p:.0f}mW@{t:.1f}C" for p, t in zip(powers, temps)),
+                round(float(coeffs[0]), 4),
+            )
+        )
+        result.series[f"{threads}_threads_temp_c"] = temps
+        result.series[f"{threads}_threads_power_mw"] = powers
+
+    result.paper_reference = dict(PAPER_RANGE)
+    result.notes.append(
+        "expected shape: power exponential in temperature at every "
+        "thread count (leakage); curves shift up with active threads; "
+        "envelope roughly 500-900 mW over 36-56 C"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 8: detailed area breakdown at chip, tile, and core levels.
+
+Rolls the area database up exactly as the paper presents it and adds
+the derived quantities the power model consumes (active/SRAM/logic
+area), which is the sense in which this figure "gives context to the
+power and energy characterization".
+"""
+
+from __future__ import annotations
+
+from repro.arch.area import AreaBreakdown
+from repro.experiments.result import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    del quick
+    area = AreaBreakdown()
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Area breakdown (percent of floorplanned area)",
+        headers=["Level", "Block", "Percent", "mm^2"],
+    )
+    for level in ("chip", "tile", "core"):
+        for name, entry in sorted(
+            area.entries(level).items(), key=lambda kv: -kv[1].percent
+        ):
+            result.rows.append(
+                (
+                    level,
+                    name,
+                    entry.percent,
+                    round(area.block_mm2(level, name), 5),
+                )
+            )
+    for level in ("chip", "tile", "core"):
+        result.series[f"{level}_total_mm2"] = [area.total_mm2(level)]
+        result.series[f"{level}_sram_mm2"] = [area.sram_mm2(level)]
+        result.series[f"{level}_logic_mm2"] = [area.logic_mm2(level)]
+        result.notes.append(
+            f"{level}: total {area.total_mm2(level):.5f} mm^2, "
+            f"percent sum {area.percent_sum(level):.2f}, "
+            f"SRAM {area.sram_mm2(level):.3f} mm^2 / "
+            f"logic {area.logic_mm2(level):.3f} mm^2 (model split)"
+        )
+    result.paper_reference = {
+        "chip_total_mm2": 35.97552,
+        "tile_total_mm2": 1.17459,
+        "core_total_mm2": 0.55205,
+        "core_percent_of_tile": 47.00,
+        "l2_percent_of_tile": 22.16,
+    }
+    return result

@@ -1,0 +1,76 @@
+"""Figure 9: maximum Linux-boot frequency versus VDD for three chips.
+
+Sweeps VDD from 0.8V to 1.2V (VCS riding 0.05V above) through each
+persona's alpha-power Fmax with thermal limiting and PLL-grid
+quantization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.power.vf_curve import VfCurve
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3
+
+VDD_SWEEP = (0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20)
+
+#: Figure 10's frequency labels: the minimum across the three chips at
+#: each voltage (the operating points of the static/idle study).
+PAPER_MIN_FREQ_MHZ = {
+    0.80: 285.74,
+    0.85: 360.04,
+    0.90: 414.33,
+    0.95: 461.59,
+    1.00: 514.33,
+    1.05: 562.55,
+    1.10: 600.06,
+    1.15: 621.49,
+    1.20: 562.55,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    personas = (CHIP1, CHIP2, CHIP3)
+    sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Maximum frequency at which Linux boots vs VDD "
+        "(VCS = VDD + 0.05V)",
+        headers=["VDD (V)"]
+        + [f"{p.name} (MHz)" for p in personas]
+        + ["min (MHz)", "paper min (MHz)", "thermally limited"],
+    )
+    for persona in personas:
+        result.series[persona.name] = []
+    result.series["min"] = []
+
+    curves = {p.name: VfCurve(p) for p in personas}
+    for vdd in sweep:
+        points = {
+            name: curve.boot_frequency(vdd)
+            for name, curve in curves.items()
+        }
+        freqs = {n: pt.fmax_hz / 1e6 for n, pt in points.items()}
+        minimum = min(freqs.values())
+        limited = [n for n, pt in points.items() if pt.thermally_limited]
+        for name, mhz in freqs.items():
+            result.series[name].append(mhz)
+        result.series["min"].append(minimum)
+        result.rows.append(
+            (
+                vdd,
+                *(round(freqs[p.name], 1) for p in personas),
+                round(minimum, 1),
+                PAPER_MIN_FREQ_MHZ.get(vdd, float("nan")),
+                ",".join(limited) if limited else "-",
+            )
+        )
+    result.paper_reference = dict(PAPER_MIN_FREQ_MHZ)
+    result.notes.append(
+        "error bars: +/- one 7.14 MHz PLL reference-grid step "
+        "(quantization, as in the paper)"
+    )
+    result.notes.append(
+        "expected shape: chip1 fastest below 1.0V, thermally limited "
+        "first; severe chip1 droop at 1.2V"
+    )
+    return result

@@ -1,0 +1,116 @@
+"""Registry mapping experiment ids to runner callables.
+
+Runners are imported lazily so that importing the registry (e.g. from
+the examples) stays cheap and a bug in one experiment module cannot
+break enumeration of the others.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.experiments.result import ExperimentResult
+
+#: experiment id -> (module, one-line description)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "table4": (
+        "repro.experiments.table4_yield",
+        "Chip testing statistics (yield buckets of 32 tested die)",
+    ),
+    "fig8": (
+        "repro.experiments.fig8_area",
+        "Area breakdown at chip/tile/core levels",
+    ),
+    "fig9": (
+        "repro.experiments.fig9_vf",
+        "Max Linux-boot frequency vs VDD for three chips",
+    ),
+    "fig10": (
+        "repro.experiments.fig10_static_idle",
+        "Static and idle power vs voltage/frequency (and Table V)",
+    ),
+    "fig11": (
+        "repro.experiments.fig11_epi",
+        "Energy per instruction by class and operand value (and Table VI)",
+    ),
+    "table7": (
+        "repro.experiments.table7_memory",
+        "Memory system energy for cache hit/miss scenarios",
+    ),
+    "fig12": (
+        "repro.experiments.fig12_noc",
+        "NoC energy per flit vs hop count and switching pattern",
+    ),
+    "fig13": (
+        "repro.experiments.fig13_scaling",
+        "Power scaling with core count (Int/HP/Hist, 1 and 2 T/C)",
+    ),
+    "fig14": (
+        "repro.experiments.fig14_mt_mc",
+        "Multithreading vs multicore power and energy",
+    ),
+    "table8": (
+        "repro.experiments.table8_specs",
+        "Sun Fire T2000 and Piton system specifications",
+    ),
+    "table9": (
+        "repro.experiments.table9_spec",
+        "SPECint 2006 performance, power, and energy",
+    ),
+    "fig15": (
+        "repro.experiments.fig15_latency",
+        "Memory-latency breakdown of a ldx round trip",
+    ),
+    "fig16": (
+        "repro.experiments.fig16_timeseries",
+        "Per-rail power time series over a gcc-166 run",
+    ),
+    "fig17": (
+        "repro.experiments.fig17_thermal",
+        "Chip power vs package temperature for active thread counts",
+    ),
+    "fig18": (
+        "repro.experiments.fig18_scheduling",
+        "Synchronized vs interleaved scheduling power/temperature",
+    ),
+    "table10": (
+        "repro.experiments.table10_related",
+        "Industry/academic processor comparison survey",
+    ),
+    # --- ablations: mechanisms the chip carries but the paper never
+    # exercises (DESIGN.md extensions) --------------------------------------
+    "ablation_drafting": (
+        "repro.experiments.ablation_drafting",
+        "Execution Drafting energy saving on identical threads",
+    ),
+    "ablation_dvfs": (
+        "repro.experiments.ablation_dvfs",
+        "Energy-optimal DVFS point for fixed work",
+    ),
+    "ablation_mitts": (
+        "repro.experiments.ablation_mitts",
+        "MITTS bandwidth shaping between two tenants",
+    ),
+    "ablation_multichip": (
+        "repro.experiments.ablation_multichip",
+        "Cross-socket shared-memory cost and the CDR saving",
+    ),
+    "ablation_dtm": (
+        "repro.experiments.ablation_dtm",
+        "Dynamic thermal management vs the static Fmax limit",
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Return the ``run`` callable for one experiment id."""
+    try:
+        module_name, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run

@@ -1,0 +1,39 @@
+"""Common result container for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.util.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one paper table/figure, plus paper anchors.
+
+    ``series`` optionally carries named numeric series (for figure-type
+    results); ``paper_reference`` holds the corresponding published
+    values where the paper states them, keyed the same way, so
+    EXPERIMENTS.md and the regression tests can diff them.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    paper_reference: Mapping[str, object] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = render_table(
+            self.headers, self.rows, title=f"{self.experiment_id}: {self.title}"
+        )
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def row_dict(self, key_column: int = 0) -> dict[object, Sequence[object]]:
+        """Index rows by one column (for tests)."""
+        return {row[key_column]: row for row in self.rows}

@@ -1,0 +1,137 @@
+"""Generic measurement sweeps over operating points and personas.
+
+The paper's figures are specific sweeps (voltage, core count, hops,
+temperature). This utility generalizes the pattern for library users:
+define a grid over (persona, VDD, frequency policy, workload), get a
+tidy list of measurement records with derived columns — the plumbing
+every "characterize X versus Y" study repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.power.vf_curve import VfCurve
+from repro.silicon.variation import CHIP2, ChipPersona
+from repro.system import PitonSystem
+from repro.util.tables import render_table
+from repro.workloads.base import TileProgram
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell to measure."""
+
+    persona: ChipPersona
+    vdd: float
+    freq_hz: float | None = None  # None -> Fmax(VDD) for the persona
+
+    def resolved_freq_hz(self) -> float:
+        if self.freq_hz is not None:
+            return self.freq_hz
+        return VfCurve(self.persona).boot_frequency(self.vdd).fmax_hz
+
+
+@dataclass
+class SweepRecord:
+    """Measurement at one grid cell."""
+
+    persona: str
+    vdd: float
+    freq_mhz: float
+    idle_core_mw: float
+    active_core_mw: float
+    ipc: float
+    energy_per_instr_pj: float
+
+
+@dataclass
+class SweepResult:
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def column(self, name: str) -> list[float]:
+        return [getattr(r, name) for r in self.records]
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.persona,
+                r.vdd,
+                round(r.freq_mhz, 1),
+                round(r.idle_core_mw, 1),
+                round(r.active_core_mw, 1),
+                round(r.ipc, 2),
+                round(r.energy_per_instr_pj, 1),
+            )
+            for r in self.records
+        ]
+        return render_table(
+            [
+                "persona",
+                "VDD",
+                "f (MHz)",
+                "idle (mW)",
+                "active (mW)",
+                "IPC",
+                "E/instr (pJ)",
+            ],
+            rows,
+            title="operating-point sweep",
+        )
+
+
+#: workload_factory(tile) -> TileProgram: one program set per tile.
+WorkloadFactory = Callable[[int], TileProgram]
+
+
+def sweep(
+    points: Iterable[SweepPoint],
+    workload_factory: WorkloadFactory,
+    tiles: Sequence[int] = (0,),
+    warmup_cycles: int = 2_000,
+    window_cycles: int = 4_000,
+    seed: int = 0,
+) -> SweepResult:
+    """Measure ``workload_factory`` at every grid point.
+
+    Energy per instruction here is total *activity* energy over the
+    window divided by instructions issued — the workload-level analogue
+    of the paper's per-instruction EPI.
+    """
+    result = SweepResult()
+    for point in points:
+        freq = point.resolved_freq_hz()
+        system = PitonSystem.default(persona=point.persona, seed=seed)
+        system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
+        idle = system.measure_idle().core.value
+        run = system.run_workload(
+            {tile: workload_factory(tile) for tile in tiles},
+            warmup_cycles=warmup_cycles,
+            window_cycles=window_cycles,
+        )
+        active = run.measurement.core.value - idle
+        instructions = max(1, run.result.instructions)
+        window_s = run.window_cycles / freq
+        result.records.append(
+            SweepRecord(
+                persona=point.persona.name,
+                vdd=point.vdd,
+                freq_mhz=freq / 1e6,
+                idle_core_mw=idle * 1e3,
+                active_core_mw=active * 1e3,
+                ipc=run.ipc,
+                energy_per_instr_pj=active * window_s / instructions
+                / 1e-12,
+            )
+        )
+    return result
+
+
+def voltage_grid(
+    vdds: Sequence[float], personas: Sequence[ChipPersona] = (CHIP2,)
+) -> list[SweepPoint]:
+    """The most common grid: VDD sweep at Fmax, per persona."""
+    return [
+        SweepPoint(persona=p, vdd=v) for p in personas for v in vdds
+    ]

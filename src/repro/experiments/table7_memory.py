@@ -1,0 +1,127 @@
+"""Table VII: memory system energy for cache hit/miss scenarios.
+
+Runs the set-aliasing ``ldx`` loops of Section IV-F on all cores and
+applies the EPI methodology with the *measured* per-load interval (the
+paper profiled L2-miss latency with performance counters because
+"memory access latency varies" — under 25 concurrent missing cores
+that interval includes DRAM channel queueing, which is what makes the
+L2-miss energy two orders of magnitude above an L2 hit: the whole chip
+sits stalled, burning power, while loads crawl through one 32-bit DDR3
+channel).
+"""
+
+from __future__ import annotations
+
+from repro.arch.floorplan import Floorplan
+from repro.cache.latency import MemoryLatencyModel
+from repro.experiments.result import ExperimentResult
+from repro.power.epi import energy_per_instruction
+from repro.system import PitonSystem
+from repro.workloads.memtests import SCENARIOS, build_memtest
+
+#: Paper Table VII rows: scenario -> (nominal latency, energy nJ).
+PAPER_TABLE7 = {
+    "l1_hit": (3, 0.28646),
+    "l2_hit_local": (34, 1.54),
+    "l2_hit_remote_4": (42, 1.87),
+    "l2_hit_remote_8": (52, 1.97),
+    "l2_miss_local": (424, 308.7),
+}
+
+_LABELS = {
+    "l1_hit": "L1 hit",
+    "l2_hit_local": "L1 miss, local L2 hit",
+    "l2_hit_remote_4": "L1 miss, remote L2 hit (4 hops)",
+    "l2_hit_remote_8": "L1 miss, remote L2 hit (8 hops)",
+    "l2_miss_local": "L1 miss, local L2 miss",
+}
+
+
+def _nominal_latency(scenario: str, hops: int) -> int:
+    model = MemoryLatencyModel()
+    if scenario == "l1_hit":
+        return model.l1_hit
+    if scenario.startswith("l2_hit"):
+        turns = 1 if hops == 8 else 0
+        return model.l2_hit(hops, turns)
+    return 424  # measured average; the model value is derived below
+
+
+def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+    cores = cores if cores is not None else (4 if quick else 25)
+    window = 4_000 if quick else 12_000
+    system = PitonSystem.default(seed=5)
+    p_idle = system.measure_idle().core
+
+    result = ExperimentResult(
+        experiment_id="table7",
+        title=f"Memory system energy ({cores} cores)",
+        headers=[
+            "Scenario",
+            "Nominal latency (cycles)",
+            "Measured interval (cycles)",
+            "Mean LDX energy (nJ)",
+            "Paper energy (nJ)",
+        ],
+    )
+    floorplan = Floorplan(system.config)
+    for scenario in SCENARIOS:
+        need_hops = 8 if scenario.endswith("_8") else (
+            4 if scenario.endswith("_4") else 0
+        )
+        participants = [
+            t
+            for t in range(cores)
+            if floorplan.max_hops_from(t) >= need_hops
+        ]
+        tests = {
+            tile: build_memtest(scenario, tile, system.config).tile_program
+            for tile in participants
+        }
+        hops = build_memtest(
+            scenario, participants[0], system.config
+        ).hops
+        scenario_cores = len(participants)
+        # The miss scenario needs a longer window: each load takes
+        # hundreds to thousands of cycles under contention.
+        scenario_window = window * (12 if scenario == "l2_miss_local" else 1)
+        # Warm-up must cover a full first pass through the 20-address
+        # working set even when every first touch goes to DRAM *and*
+        # all participating cores queue at the single DRAM channel
+        # (~100 core cycles of channel service per line fetch).
+        warmup = max(16_000, 130 * 20 * scenario_cores)
+        run_ = system.run_workload(
+            tests, warmup_cycles=warmup, window_cycles=scenario_window
+        )
+        # Loads completed inside the window, from the window ledger.
+        window_loads = max(1.0, run_.ledger.count("l1d.read"))
+        interval = run_.window_cycles * scenario_cores / window_loads
+        energy = energy_per_instruction(
+            run_.measurement.core,
+            p_idle,
+            system.freq_hz,
+            latency_cycles=interval,
+            cores=scenario_cores,
+        )
+        nominal = _nominal_latency(scenario, hops)
+        result.rows.append(
+            (
+                _LABELS[scenario],
+                nominal,
+                round(interval, 1),
+                round(energy.value / 1e-9, 3),
+                PAPER_TABLE7[scenario][1],
+            )
+        )
+        result.series[scenario] = [energy.value / 1e-9, interval]
+
+    result.paper_reference = {
+        key: {"latency": lat, "energy_nj": nj}
+        for key, (lat, nj) in PAPER_TABLE7.items()
+    }
+    result.notes.append(
+        "expected shape: local-vs-remote L2 difference is small (NoC "
+        "energy is cheap); an L2 miss costs two orders of magnitude "
+        "more than an L2 hit because the chip stalls on DRAM"
+    )
+    return result

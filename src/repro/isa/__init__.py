@@ -1,0 +1,41 @@
+"""SPARC-V9-subset ISA used by the core model and the EPI assembly tests.
+
+The subset covers exactly the instruction classes the paper
+characterizes (Table VI) — integer ALU, multiply, divide, single- and
+double-precision floating point, 64-bit loads and stores, and
+conditional branches — plus the handful of move/set/logic instructions
+the microbenchmarks need. One documented simplification: branches
+compare a register against zero (MIPS-style) instead of using SPARC
+condition codes; this changes no timing or energy behaviour, only
+assembler syntax.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import (
+    INSTRUCTION_SET,
+    InstrClass,
+    OpcodeInfo,
+    Unit,
+)
+from repro.isa.operands import (
+    OperandPolicy,
+    hamming_distance,
+    hamming_weight,
+    operand_value,
+)
+from repro.isa.program import Instruction, Program
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "INSTRUCTION_SET",
+    "InstrClass",
+    "OpcodeInfo",
+    "Unit",
+    "OperandPolicy",
+    "hamming_distance",
+    "hamming_weight",
+    "operand_value",
+    "Instruction",
+    "Program",
+]

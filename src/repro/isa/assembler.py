@@ -1,0 +1,205 @@
+"""Two-pass text assembler for the SPARC-subset ISA.
+
+Syntax (SPARC-flavoured, simplified)::
+
+    loop:
+        set   42, %r1          ! immediate load
+        add   %r1, %r2, %r3    ! rd is last
+        and   %r3, 0xff, %r4   ! rs2 may be an immediate
+        ldx   [%r4 + 8], %r5   ! load:  [base + offset] -> rd
+        stx   %r5, [%r4 + 16]  ! store: rs -> [base + offset]
+        faddd %f0, %f2, %f4
+        bne   %r3, loop        ! branch if %r3 != 0
+        nop
+
+Comments start with ``!`` or ``#``. Labels end with ``:`` and may share
+a line with an instruction. Immediates accept decimal, hex (``0x``),
+and negative values.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import opcode
+from repro.isa.program import Instruction, Program
+
+
+class AssemblerError(ValueError):
+    """Raised with file/line context on any parse or resolve failure."""
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_INT_REG_RE = re.compile(r"^%r(\d+)$")
+_FP_REG_RE = re.compile(r"^%f(\d+)$")
+_MEM_RE = re.compile(r"^\[\s*(%r\d+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a validated :class:`Program`."""
+    lines = source.splitlines()
+    parsed: list[tuple[int, str, list[str]]] = []
+    labels: dict[str, int] = {}
+
+    # Pass 1: strip comments, collect labels, tokenize.
+    for lineno, raw in enumerate(lines, start=1):
+        line = re.split(r"[!#]", raw, maxsplit=1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label, line = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblerError(
+                        f"line {lineno}: duplicate label {label!r}"
+                    )
+                labels[label] = len(parsed)
+                continue
+            break
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        operands = [tok.strip() for tok in _split_operands(rest)] if rest else []
+        parsed.append((lineno, mnemonic.lower(), operands))
+
+    # Pass 2: resolve operands and labels.
+    instructions = [
+        _build(lineno, mnemonic, operands, labels)
+        for lineno, mnemonic, operands in parsed
+    ]
+    program = Program(instructions, labels, source=source)
+    try:
+        program.validate()
+    except ValueError as exc:
+        raise AssemblerError(str(exc)) from exc
+    return program
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not inside ``[...]`` memory operands."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _build(
+    lineno: int,
+    mnemonic: str,
+    operands: list[str],
+    labels: dict[str, int],
+) -> Instruction:
+    try:
+        info = opcode(mnemonic)
+    except KeyError as exc:
+        raise AssemblerError(f"line {lineno}: {exc}") from exc
+
+    def err(message: str) -> AssemblerError:
+        return AssemblerError(f"line {lineno}: {mnemonic}: {message}")
+
+    if mnemonic == "nop":
+        if operands:
+            raise err("takes no operands")
+        return Instruction("nop")
+
+    if info.is_load:  # ldx [base + off], rd
+        if len(operands) != 2:
+            raise err("expected '[base + off], rd'")
+        base, imm = _parse_mem(operands[0], err)
+        return Instruction(mnemonic, rd=_reg(operands[1], info.is_fp, err),
+                           rs1=base, imm=imm)
+
+    if info.is_store:  # stx rs, [base + off]
+        if len(operands) != 2:
+            raise err("expected 'rs, [base + off]'")
+        base, imm = _parse_mem(operands[1], err)
+        return Instruction(mnemonic, rs1=_reg(operands[0], info.is_fp, err),
+                           rs2=base, imm=imm)
+
+    if info.is_branch:  # beq rs, label
+        if len(operands) != 2:
+            raise err("expected 'rs, label'")
+        label = operands[1]
+        if label not in labels:
+            raise err(f"undefined label {label!r}")
+        return Instruction(mnemonic, rs1=_reg(operands[0], False, err),
+                           target=labels[label])
+
+    if mnemonic == "cas":  # cas [base], rcmp, rswap_dest (SPARC CASX)
+        if len(operands) != 3:
+            raise err("expected '[base], rcmp, rd'")
+        base, offset = _parse_mem(operands[0], err)
+        if offset:
+            raise err("cas takes no address offset")
+        return Instruction(mnemonic, rd=_reg(operands[2], False, err),
+                           rs1=base, rs2=_reg(operands[1], False, err))
+
+    if mnemonic == "set":  # set imm, rd
+        if len(operands) != 2:
+            raise err("expected 'imm, rd'")
+        return Instruction(mnemonic, rd=_reg(operands[1], False, err),
+                           imm=_imm(operands[0], err))
+
+    if mnemonic == "mov":  # mov rs, rd
+        if len(operands) != 2:
+            raise err("expected 'rs, rd'")
+        return Instruction(mnemonic, rd=_reg(operands[1], info.is_fp, err),
+                           rs1=_reg(operands[0], info.is_fp, err))
+
+    # Three-operand ALU / FPU: op rs1, rs2_or_imm, rd
+    if len(operands) != 3:
+        raise err("expected 'rs1, rs2, rd'")
+    rs1 = _reg(operands[0], info.is_fp, err)
+    rd = _reg(operands[2], info.is_fp, err)
+    if _INT_REG_RE.match(operands[1]) or _FP_REG_RE.match(operands[1]):
+        return Instruction(mnemonic, rd=rd, rs1=rs1,
+                           rs2=_reg(operands[1], info.is_fp, err))
+    if info.is_fp:
+        raise err("FP instructions take register operands only")
+    return Instruction(mnemonic, rd=rd, rs1=rs1, imm=_imm(operands[1], err))
+
+
+def _reg(token: str, fp: bool, err) -> int:
+    pattern = _FP_REG_RE if fp else _INT_REG_RE
+    match = pattern.match(token)
+    if not match:
+        kind = "fp" if fp else "integer"
+        raise err(f"expected {kind} register, got {token!r}")
+    index = int(match.group(1))
+    if not 0 <= index < 32:
+        raise err(f"register index {index} out of range")
+    return index
+
+
+def _imm(token: str, err) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise err(f"bad immediate {token!r}") from None
+
+
+def _parse_mem(token: str, err) -> tuple[int, int]:
+    match = _MEM_RE.match(token)
+    if not match:
+        raise err(f"bad memory operand {token!r}")
+    base = int(match.group(1)[2:])
+    if not 0 <= base < 32:
+        raise err(f"register index {base} out of range")
+    offset = 0
+    if match.group(3) is not None:
+        try:
+            offset = int(match.group(3), 0)
+        except ValueError:
+            raise err(f"bad offset {match.group(3)!r}") from None
+        if match.group(2) == "-":
+            offset = -offset
+    return base, offset

@@ -1,0 +1,61 @@
+"""Disassembler: turn programs back into assembler-accepted text.
+
+Round-trips with :mod:`repro.isa.assembler` (asserted by property
+tests), which makes traces, generated workloads, and EPI tests
+inspectable — the reproduction's stand-in for reading the RTL test
+inputs the paper published.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Instruction, Program
+
+
+def disassemble_instruction(
+    instr: Instruction, labels: dict[int, str] | None = None
+) -> str:
+    """Render one instruction in assembler syntax."""
+    info = instr.info
+    op = instr.op
+
+    if op == "nop":
+        return "nop"
+    if op == "set":
+        return f"set {instr.imm}, %r{instr.rd}"
+    if op == "mov":
+        prefix = "f" if info.is_fp else "r"
+        return f"mov %{prefix}{instr.rs1}, %{prefix}{instr.rd}"
+    if info.is_load:
+        return f"ldx [%r{instr.rs1} + {instr.imm or 0}], %r{instr.rd}"
+    if info.is_store:
+        return f"stx %r{instr.rs1}, [%r{instr.rs2} + {instr.imm or 0}]"
+    if op == "cas":
+        return f"cas [%r{instr.rs1}], %r{instr.rs2}, %r{instr.rd}"
+    if info.is_branch:
+        if labels and instr.target in labels:
+            target = labels[instr.target]
+        else:
+            target = f"L{instr.target}"
+        return f"{op} %r{instr.rs1}, {target}"
+    prefix = "f" if info.is_fp else "r"
+    if instr.rs2 is not None:
+        second = f"%{prefix}{instr.rs2}"
+    else:
+        second = str(instr.imm)
+    return f"{op} %{prefix}{instr.rs1}, {second}, %{prefix}{instr.rd}"
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, synthesizing labels at branch targets."""
+    targets = {
+        instr.target
+        for instr in program
+        if instr.info.is_branch and instr.target is not None
+    }
+    labels = {index: f"L{index}" for index in sorted(targets)}
+    lines: list[str] = []
+    for index, instr in enumerate(program.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"    {disassemble_instruction(instr, labels)}")
+    return "\n".join(lines) + "\n"

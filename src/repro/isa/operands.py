@@ -1,0 +1,86 @@
+"""Operand value policies and bit-level activity helpers.
+
+Section IV-E shows instruction energy depends strongly on the source
+operand values: the paper sweeps *minimum*, *random*, and *maximum*
+operands. :class:`OperandPolicy` reproduces those three sweeps.
+:func:`hamming_weight`/:func:`hamming_distance` are the primitives the
+power model uses to turn operand bit patterns into switching activity.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+import numpy as np
+
+from repro.isa.instructions import WORD_MASK
+
+
+class OperandPolicy(enum.Enum):
+    """Which operand values an EPI assembly test uses."""
+
+    MINIMUM = "minimum"
+    RANDOM = "random"
+    MAXIMUM = "maximum"
+
+
+def operand_value(
+    policy: OperandPolicy,
+    rng: np.random.Generator | None = None,
+    fp: bool = False,
+) -> int | float:
+    """Draw one operand under ``policy``.
+
+    Integer operands: minimum is 0, maximum is all-ones (64 bit),
+    random is uniform over the full 64-bit range. Floating-point
+    operands mirror the same activity extremes: 0.0, a dense-mantissa
+    value near the top of the exponent range, and a random finite
+    double.
+    """
+    if policy is OperandPolicy.MINIMUM:
+        return 0.0 if fp else 0
+    if policy is OperandPolicy.MAXIMUM:
+        if fp:
+            # All-ones mantissa and near-max exponent, still finite.
+            return float.fromhex("0x1.fffffffffffffp+1000")
+        return WORD_MASK
+    if rng is None:
+        raise ValueError("RANDOM operand policy requires an rng")
+    if fp:
+        return float(rng.uniform(1.0, 2.0) * 2.0 ** rng.integers(-64, 64))
+    return int(rng.integers(0, 1 << 63, dtype=np.uint64)) | (
+        int(rng.integers(0, 2)) << 63
+    )
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits in a 64-bit word."""
+    return int(value & WORD_MASK).bit_count()
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two 64-bit words."""
+    return int((a ^ b) & WORD_MASK).bit_count()
+
+
+def float_bits(value: float) -> int:
+    """IEEE-754 double bit pattern of ``value`` as an unsigned int."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bit_pattern(value: int | float) -> int:
+    """Uniform 64-bit pattern for either an int or a float operand."""
+    if isinstance(value, float):
+        return float_bits(value)
+    return value & WORD_MASK
+
+
+def activity_factor(value: int | float) -> float:
+    """Fraction of datapath bits set by one operand, in [0, 1]."""
+    return hamming_weight(bit_pattern(value)) / 64.0
+
+
+def switching_factor(prev: int | float, curr: int | float) -> float:
+    """Fraction of datapath bits that toggle between two values."""
+    return hamming_distance(bit_pattern(prev), bit_pattern(curr)) / 64.0

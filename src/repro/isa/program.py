@@ -1,0 +1,99 @@
+"""Instruction and program containers produced by the assembler.
+
+A :class:`Program` is a flat list of resolved :class:`Instruction`\\ s;
+branch targets are instruction indices (labels are resolved away by the
+assembler). The core pipeline executes programs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.isa.instructions import OpcodeInfo, opcode
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Register operand conventions:
+
+    * ``rd``  – destination register index (int regs and fp regs live in
+      separate files; ``info.is_fp`` selects which).
+    * ``rs1``/``rs2`` – source register indices, or ``None``.
+    * ``imm`` – immediate; for memory ops it is the address offset, for
+      ``set`` it is the value, for ALU ops it substitutes for ``rs2``.
+    * ``target`` – branch destination as an instruction index.
+    """
+
+    op: str
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | None = None
+    target: int | None = None
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return opcode(self.op)
+
+    def __str__(self) -> str:
+        parts = [self.op]
+        for label, value in (
+            ("rd", self.rd),
+            ("rs1", self.rs1),
+            ("rs2", self.rs2),
+            ("imm", self.imm),
+            ("target", self.target),
+        ):
+            if value is not None:
+                parts.append(f"{label}={value}")
+        return " ".join(parts)
+
+
+@dataclass
+class Program:
+    """A resolved instruction sequence with label metadata."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    source: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def validate(self) -> None:
+        """Check branch targets and register indices are in range."""
+        for i, instr in enumerate(self.instructions):
+            info = instr.info
+            if info.is_branch:
+                if instr.target is None:
+                    raise ValueError(f"instr {i}: branch without target")
+                if not 0 <= instr.target < len(self.instructions):
+                    raise ValueError(
+                        f"instr {i}: branch target {instr.target} out of range"
+                    )
+            for reg in (instr.rd, instr.rs1, instr.rs2):
+                if reg is not None and not 0 <= reg < 32:
+                    raise ValueError(f"instr {i}: register {reg} out of range")
+
+    def instruction_mix(self) -> dict[str, int]:
+        """Static opcode histogram (useful in tests and docs)."""
+        mix: dict[str, int] = {}
+        for instr in self.instructions:
+            mix[instr.op] = mix.get(instr.op, 0) + 1
+        return mix
+
+
+def flat_program(instructions: Sequence[Instruction]) -> Program:
+    """Wrap raw instructions into a validated :class:`Program`."""
+    program = Program(list(instructions))
+    program.validate()
+    return program

@@ -1,0 +1,31 @@
+"""Flit-level network-on-chip simulator.
+
+Piton has three identical physical 2D-mesh NoCs, 64 bits wide in each
+direction, with dimension-ordered wormhole routing at one cycle per hop
+plus one extra cycle on a turn. This package simulates one network at
+flit granularity: routers with per-port input queues, round-robin
+output arbitration, and — the part the paper's Figure 12 hinges on —
+per-link tracking of the *previous* flit payload so each traversal's
+bit-switching and coupling activity can be priced by the power model.
+
+The transaction-level timing used by :mod:`repro.cache` (hops + turns)
+is cross-validated against this simulator in the integration tests.
+"""
+
+from repro.noc.analysis import NocAnalysis
+from repro.noc.flit import Flit, Packet, coupling_factor, make_invalidation_packet
+from repro.noc.mesh import MeshNetwork
+from repro.noc.mitts import MittsBin, MittsShaper
+from repro.noc.router import Router
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "coupling_factor",
+    "make_invalidation_packet",
+    "MeshNetwork",
+    "MittsBin",
+    "MittsShaper",
+    "NocAnalysis",
+    "Router",
+]

@@ -1,0 +1,230 @@
+"""Cycle-level mesh network simulation with per-link activity tracking.
+
+Every inter-tile link remembers the last payload it carried; each
+traversal records a ``noc{k}.flit_hop`` event weighted by the Hamming
+switching fraction and a ``noc{k}.coupling`` event weighted by the
+opposite-direction adjacent-bit fraction. Router traversals record
+``noc{k}.router_pass``. These are exactly the quantities the Figure 12
+energy model prices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.arch.floorplan import Floorplan
+from repro.arch.params import PitonConfig
+from repro.noc.flit import Flit, Packet, coupling_factor, switching_bits
+from repro.noc.router import Port, Router, is_turn
+from repro.util.events import EventLedger
+
+
+@dataclass(frozen=True)
+class _Move:
+    router: int
+    in_port: Port
+    out_port: Port
+
+
+class MeshNetwork:
+    """One physical NoC of the three."""
+
+    def __init__(
+        self,
+        config: PitonConfig | None = None,
+        ledger: EventLedger | None = None,
+        network_id: int = 1,
+    ):
+        self.config = config or PitonConfig()
+        self.ledger = ledger if ledger is not None else EventLedger()
+        self.network_id = network_id
+        self.floorplan = Floorplan(self.config)
+        self.routers: list[Router] = []
+        for tile in range(self.config.tile_count):
+            coord = self.floorplan.coord_of(tile)
+            self.routers.append(Router(tile, coord.x, coord.y))
+        # Link switching state: last payload per directed link, plus
+        # exact per-link flit counts for traffic analysis.
+        self._link_last: dict[tuple[int, int], int] = {}
+        self.link_counts: dict[tuple[int, int], int] = {}
+        # Packets waiting at each tile's injection port.
+        self._inject_queues: dict[int, deque[Flit]] = {
+            t: deque() for t in range(self.config.tile_count)
+        }
+        self._pending_packets: dict[int, deque[Packet]] = {
+            t: deque() for t in range(self.config.tile_count)
+        }
+        self.delivered: list[Packet] = []
+        self._eject_partial: dict[int, list[Flit]] = {}
+        self._eject_packet_queue: dict[int, deque[Packet]] = {}
+        self.now = 0
+        self.total_flit_hops = 0
+
+    # ------------------------------------------------------------- injection
+    def inject(self, packet: Packet, at_tile: int) -> None:
+        """Queue a packet for injection at ``at_tile``'s local port."""
+        packet.injected_at = self.now
+        self._pending_packets[at_tile].append(packet)
+        self._eject_packet_queue.setdefault(packet.dest, deque()).append(
+            packet
+        )
+        for flit in packet.flits:
+            self._inject_queues[at_tile].append(flit)
+
+    @property
+    def in_flight(self) -> int:
+        """Flits injected but not yet ejected."""
+        queued = sum(len(q) for q in self._inject_queues.values())
+        buffered = sum(
+            len(port.queue)
+            for router in self.routers
+            for port in router.inputs.values()
+        )
+        partial = sum(len(f) for f in self._eject_partial.values())
+        return queued + buffered + partial
+
+    # ------------------------------------------------------------------ step
+    def step(self) -> None:
+        """Advance one cycle."""
+        self._feed_injection()
+        moves = self._arbitrate()
+        self._apply(moves)
+        self.now += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Run until every injected flit has been delivered."""
+        for _ in range(max_cycles):
+            if self.in_flight == 0:
+                return
+            self.step()
+        raise RuntimeError("network failed to drain (possible deadlock)")
+
+    # ----------------------------------------------------------------- phases
+    def _feed_injection(self) -> None:
+        for tile, queue in self._inject_queues.items():
+            router = self.routers[tile]
+            while queue and router.can_accept(Port.LOCAL):
+                router.enqueue(Port.LOCAL, queue.popleft())
+
+    def _arbitrate(self) -> list[_Move]:
+        moves: list[_Move] = []
+        for router in self.routers:
+            for out_port in Port:
+                in_port = self._grant(router, out_port)
+                if in_port is not None:
+                    moves.append(_Move(router.tile_id, in_port, out_port))
+        return moves
+
+    def _grant(self, router: Router, out_port: Port) -> Port | None:
+        locked_in = router.output_locked_by[out_port]
+        if locked_in is not None:
+            candidate = router.inputs[locked_in]
+            if candidate.head() is None:
+                return None
+            if candidate.stall_until > self.now:
+                return None
+            if self._downstream_full(router, out_port):
+                return None
+            return locked_in
+        # Round-robin among inputs whose head flit routes to out_port.
+        ports = list(Port)
+        start = router.rr_pointer[out_port]
+        for i in range(len(ports)):
+            in_port = ports[(start + i) % len(ports)]
+            ip = router.inputs[in_port]
+            if ip.locked_output is not None:
+                continue
+            head = ip.head()
+            if head is None or not head.is_head:
+                continue
+            coord = self.floorplan.coord_of(head.dest)
+            if router.route_port(coord.x, coord.y) != out_port:
+                continue
+            if ip.stall_until > self.now:
+                continue
+            if is_turn(in_port, out_port) and ip.stall_until < self.now:
+                # First grant of a turning packet burns the turn cycle.
+                ip.stall_until = self.now + 1
+                router.rr_pointer[out_port] = (ports.index(in_port)) % len(
+                    ports
+                )
+                return None
+            if self._downstream_full(router, out_port):
+                return None
+            # Lock the wormhole path.
+            ip.locked_output = out_port
+            router.output_locked_by[out_port] = in_port
+            router.rr_pointer[out_port] = (ports.index(in_port) + 1) % len(
+                ports
+            )
+            return in_port
+        return None
+
+    def _downstream_full(self, router: Router, out_port: Port) -> bool:
+        if out_port == Port.LOCAL:
+            return False
+        neighbor, in_port = self._neighbor(router, out_port)
+        return not self.routers[neighbor].can_accept(in_port)
+
+    def _neighbor(self, router: Router, out_port: Port) -> tuple[int, Port]:
+        dx, dy, reverse = {
+            Port.EAST: (1, 0, Port.WEST),
+            Port.WEST: (-1, 0, Port.EAST),
+            Port.SOUTH: (0, 1, Port.NORTH),
+            Port.NORTH: (0, -1, Port.SOUTH),
+        }[out_port]
+        from repro.arch.floorplan import TileCoord
+
+        coord = TileCoord(router.x + dx, router.y + dy)
+        return self.floorplan.tile_id_of(coord), reverse
+
+    def _apply(self, moves: list[_Move]) -> None:
+        for move in moves:
+            router = self.routers[move.router]
+            ip = router.inputs[move.in_port]
+            flit = ip.queue.popleft()
+            router.flits_routed += 1
+            self.ledger.record(
+                f"noc{self.network_id}.router_pass",
+                activity=flit.payload.bit_count() / 64.0,
+            )
+            if flit.is_tail:
+                ip.locked_output = None
+                router.output_locked_by[move.out_port] = None
+            if move.out_port == Port.LOCAL:
+                self._eject(router.tile_id, flit)
+            else:
+                neighbor, in_port = self._neighbor(router, move.out_port)
+                self._traverse_link(router.tile_id, neighbor, flit)
+                self.routers[neighbor].enqueue(in_port, flit)
+
+    def _traverse_link(self, src: int, dst: int, flit: Flit) -> None:
+        key = (src, dst)
+        prev = self._link_last.get(key, 0)
+        toggled = switching_bits(prev, flit.payload)
+        self.ledger.record(
+            f"noc{self.network_id}.flit_hop", activity=toggled / 64.0
+        )
+        self.ledger.record(
+            f"noc{self.network_id}.coupling",
+            activity=coupling_factor(prev, flit.payload),
+        )
+        self._link_last[key] = flit.payload
+        self.link_counts[key] = self.link_counts.get(key, 0) + 1
+        self.total_flit_hops += 1
+
+    def _eject(self, tile: int, flit: Flit) -> None:
+        partial = self._eject_partial.setdefault(tile, [])
+        partial.append(flit)
+        if flit.is_tail:
+            queue = self._eject_packet_queue.get(tile)
+            if queue:
+                packet = queue.popleft()
+                packet.delivered_at = self.now + 1
+                self.delivered.append(packet)
+            self._eject_partial[tile] = []

@@ -1,0 +1,110 @@
+"""MITTS: Memory Inter-arrival Time Traffic Shaper (Zhou & Wentzlaff).
+
+Each tile's memory traffic passes through a MITTS instance that shapes
+request streams into a configured inter-arrival-time distribution —
+the mechanism Piton ships for memory-bandwidth sharing in multi-tenant
+systems. The implementation follows the published design at the
+behavioural level: a set of inter-arrival-time *bins*, each holding
+credits that refill every replenishment epoch; a request whose distance
+from the previous request falls into bin *i* needs a credit from bin
+*i* or any longer-time bin, otherwise it is stalled until it either
+ages into a bin with credits or the epoch refills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class MittsBin:
+    """One inter-arrival-time bin: [min_gap, next bin's min_gap)."""
+
+    min_gap: int
+    credits: int
+
+
+class MittsShaper:
+    """Traffic shaper for one tile's memory request stream."""
+
+    def __init__(
+        self,
+        bins: Sequence[MittsBin],
+        epoch_cycles: int = 10_000,
+        enabled: bool = True,
+    ):
+        if not bins:
+            raise ValueError("MITTS needs at least one bin")
+        gaps = [b.min_gap for b in bins]
+        if gaps != sorted(gaps) or len(set(gaps)) != len(gaps):
+            raise ValueError("bins must have strictly increasing min_gap")
+        self.bins = list(bins)
+        self.epoch_cycles = epoch_cycles
+        self.enabled = enabled
+        self._credits = [b.credits for b in bins]
+        self._epoch_start = 0
+        self._last_request = None
+        self.stalled_cycles_total = 0
+        self.requests = 0
+
+    @classmethod
+    def unlimited(cls) -> "MittsShaper":
+        """A pass-through shaper (MITTS disabled, the chip's default)."""
+        return cls([MittsBin(0, 0)], enabled=False)
+
+    def _refill(self, now: int) -> None:
+        while now - self._epoch_start >= self.epoch_cycles:
+            self._epoch_start += self.epoch_cycles
+            self._credits = [b.credits for b in self.bins]
+
+    def _bin_for_gap(self, gap: int) -> int:
+        index = 0
+        for i, b in enumerate(self.bins):
+            if gap >= b.min_gap:
+                index = i
+        return index
+
+    def release_time(self, now: int) -> int:
+        """Earliest cycle at which a request arriving at ``now`` may
+        proceed. Advances internal credit state assuming it does."""
+        self.requests += 1
+        if not self.enabled:
+            self._last_request = now
+            return now
+        self._refill(now)
+        if self._last_request is None:
+            # First request: treat as an arbitrarily long gap.
+            gap = max(self.bins[-1].min_gap, now)
+        else:
+            gap = now - self._last_request
+        release = now
+        # Worst case: age through every bin boundary, hit the epoch
+        # refill, then age through the bins once more.
+        for _ in range(2 * len(self.bins) + 3):
+            index = self._bin_for_gap(gap)
+            # A credit must come from the bin containing the current
+            # gap; an empty bin stalls the request until it ages into
+            # the next (longer-gap) bin or the epoch refills.
+            if self._credits[index] > 0:
+                self._credits[index] -= 1
+                self.stalled_cycles_total += release - now
+                self._last_request = release
+                return release
+            # No credit: age the request into the next bin boundary or
+            # the next epoch refill, whichever is sooner.
+            next_boundaries = [
+                b.min_gap for b in self.bins if b.min_gap > gap
+            ]
+            to_epoch = self._epoch_start + self.epoch_cycles - release
+            to_bin = (
+                min(next_boundaries) - gap if next_boundaries else to_epoch
+            )
+            advance = max(1, min(to_bin, to_epoch))
+            release += advance
+            gap += advance
+            self._refill(release)
+        # Pathological configuration (all-zero credits): fail loudly.
+        raise RuntimeError(
+            "MITTS could not admit request; configure nonzero credits"
+        )

@@ -1,0 +1,83 @@
+"""Dimension-ordered wormhole mesh router.
+
+Five ports (local, north, east, south, west), an input FIFO per port,
+per-output round-robin arbitration, and wormhole locking from head to
+tail flit. Timing matches the paper: one cycle per hop, plus one cycle
+when a packet turns from the X dimension into Y.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.noc.flit import Flit
+
+
+class Port(enum.IntEnum):
+    LOCAL = 0
+    NORTH = 1
+    EAST = 2
+    SOUTH = 3
+    WEST = 4
+
+
+X_PORTS = (Port.EAST, Port.WEST)
+Y_PORTS = (Port.NORTH, Port.SOUTH)
+
+
+def is_turn(in_port: Port, out_port: Port) -> bool:
+    """A dimension change (X input to Y output or vice versa)."""
+    if in_port == Port.LOCAL or out_port == Port.LOCAL:
+        return False
+    return (in_port in X_PORTS) != (out_port in X_PORTS)
+
+
+@dataclass
+class InputPort:
+    queue: deque[Flit] = field(default_factory=deque)
+    locked_output: Port | None = None
+    stall_until: int = -1  # turn-penalty stall
+
+    def head(self) -> Flit | None:
+        return self.queue[0] if self.queue else None
+
+
+class Router:
+    """One mesh router's state. The mesh drives arbitration."""
+
+    INPUT_QUEUE_DEPTH = 4
+
+    def __init__(self, tile_id: int, x: int, y: int):
+        self.tile_id = tile_id
+        self.x = x
+        self.y = y
+        self.inputs: dict[Port, InputPort] = {p: InputPort() for p in Port}
+        self.output_locked_by: dict[Port, Port | None] = {
+            p: None for p in Port
+        }
+        self.rr_pointer: dict[Port, int] = {p: 0 for p in Port}
+        self.flits_routed = 0
+
+    def route_port(self, dest_x: int, dest_y: int) -> Port:
+        """Dimension-ordered (X then Y) output selection."""
+        if dest_x > self.x:
+            return Port.EAST
+        if dest_x < self.x:
+            return Port.WEST
+        if dest_y > self.y:
+            return Port.SOUTH
+        if dest_y < self.y:
+            return Port.NORTH
+        return Port.LOCAL
+
+    def can_accept(self, port: Port) -> bool:
+        return len(self.inputs[port].queue) < self.INPUT_QUEUE_DEPTH
+
+    def enqueue(self, port: Port, flit: Flit) -> None:
+        if not self.can_accept(port):
+            raise OverflowError(
+                f"router {self.tile_id} input {port.name} overflow"
+            )
+        self.inputs[port].queue.append(flit)

@@ -1,0 +1,196 @@
+"""Every calibrated constant of the power model, with its paper anchor.
+
+Calibration policy (DESIGN.md section 4): constants are fitted once
+against the paper's published anchor numbers; all experiment outputs
+are then *derived* through simulation plus the paper's measurement
+methodology. Nothing in :mod:`repro.experiments` contains result
+numbers — if a constant changes here, every downstream table moves.
+
+Event energies are specified in picojoules *per event at nominal rail
+voltage* (VDD=1.00V for the logic share, VCS=1.05V for the SRAM share)
+and scale quadratically with voltage. ``act_pj`` is multiplied by the
+event's mean recorded activity factor (0 for all-zero operands, 0.5
+for random data, 1 for all-ones), which is how operand values move EPI
+in Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class EventEnergy:
+    """Price of one event class.
+
+    ``vdd_frac`` of the (voltage-scaled) energy draws from VDD and the
+    rest from VCS; events with ``rail="io"`` draw from VIO instead and
+    scale with (VIO/1.8)^2.
+    """
+
+    base_pj: float
+    act_pj: float = 0.0
+    vdd_frac: float = 1.0
+    rail: str = "core"  # "core" or "io"
+
+    def __post_init__(self) -> None:
+        if self.base_pj < 0 or self.act_pj < 0:
+            raise ValueError("energies must be non-negative")
+        if not 0.0 <= self.vdd_frac <= 1.0:
+            raise ValueError("vdd_frac must be in [0, 1]")
+        if self.rail not in ("core", "io"):
+            raise ValueError(f"unknown rail {self.rail!r}")
+
+
+def _core(base: float, act: float = 0.0, vdd: float = 1.0) -> EventEnergy:
+    return EventEnergy(base_pj=base, act_pj=act, vdd_frac=vdd)
+
+
+def _sram(base: float, act: float = 0.0, vdd: float = 0.3) -> EventEnergy:
+    return EventEnergy(base_pj=base, act_pj=act, vdd_frac=vdd)
+
+
+#: Per-event energies. Anchors, from the paper:
+#:   [A1] EPI(ldx, L1 hit) = 286.46 pJ and "three add instructions ...
+#:        same energy and latency as a ldx that hits in the L1", so
+#:        EPI(add, random) ~ 95 pJ                       (Sec IV-E/F)
+#:   [A2] Table VII: local L2 hit 1.54 nJ, remote +~0.33 nJ/4 hops,
+#:        L2 miss 308.7 nJ (contended; see experiments/table7)
+#:   [A3] Fig 12 trendlines: NSW 3.58, HSW 11.16, FSW 16.68, FSWA
+#:        16.98 pJ/hop -> least-squares: router 3.9 pJ + 13.1 pJ x
+#:        switching fraction + 0.3 pJ x coupling fraction
+#:   [A4] Fig 13 slopes: Int 22.8/37.4, HP 35.6/57.8, Hist 14.5/14.4
+#:        mW/core (drives the logic-op, thread-switch, and stall prices)
+#:   [A5] Fig 11 bar heights by class (long-latency classes highest)
+EVENT_ENERGIES: Mapping[str, EventEnergy] = {
+    # --- core front-end / control -------------------------------------------
+    "core.fetch": _sram(15.0, vdd=0.45),  # L1I access per issue
+    "core.active_cycle": _core(10.0),  # decode, thread-sel, bypass
+    "core.stall_cycle": _core(5.0),  # scheduler looking for work [A4]
+    "core.thread_switch": _core(20.0),  # FG-MT context mux [A4]
+    "core.rollback": _core(60.0),  # flush + replay control
+    "core.replay_bubble": _core(8.0),  # per refill cycle
+    # --- instruction execution [A1][A4][A5] ---------------------------------
+    "instr.nop": _core(8.0),
+    "instr.int_logic": _core(4.0, 16.0, vdd=0.85),
+    "instr.int_add": _core(32.0, 75.0, vdd=0.85),
+    "instr.int_mul": _core(60.0, 216.0, vdd=0.9),
+    "instr.int_div": _core(150.0, 626.0, vdd=0.9),
+    "instr.fp_add_d": _core(95.0, 240.0, vdd=0.9),
+    "instr.fp_mul_d": _core(120.0, 290.0, vdd=0.9),
+    "instr.fp_div_d": _core(210.0, 560.0, vdd=0.9),
+    "instr.fp_add_s": _core(70.0, 180.0, vdd=0.9),
+    "instr.fp_mul_s": _core(85.0, 215.0, vdd=0.9),
+    "instr.fp_div_s": _core(150.0, 420.0, vdd=0.9),
+    "instr.load": _core(70.0, 95.0, vdd=0.7),
+    "instr.store": _core(90.0, 110.0, vdd=0.7),
+    "instr.branch": _core(30.0, 45.0, vdd=0.9),
+    # --- caches [A1][A2] ------------------------------------------------------
+    "l1d.read": _sram(100.0, 20.0),
+    "l1d.write": _sram(105.0, 20.0),
+    "l1d.fill": _sram(120.0, 20.0),
+    "l1i.read": _sram(95.0, 20.0),
+    "l1i.fill": _sram(150.0, 20.0),
+    "l15.read": _sram(110.0, 20.0),
+    "l15.write": _sram(120.0, 20.0),
+    "l15.fill": _sram(140.0, 20.0),
+    "l2.read": _sram(330.0, 40.0),
+    "l2.write": _sram(260.0, 40.0),
+    "l2.fill": _sram(380.0, 40.0),
+    "l2.writeback": _sram(350.0, 40.0),
+    "dir.lookup": _sram(45.0, 5.0),
+    "mem.line_fetch": _core(400.0, vdd=0.6),  # miss-path control logic
+    # Replay/MSHR/retry activity per cycle an off-chip miss is
+    # outstanding; calibrated against Table VII's 308.7 nJ L2-miss row
+    # (the dominant term: "the chip ... stall[s] and consume[s] energy
+    # until the memory request returns").
+    "mem.outstanding_cycle": _core(106.0, vdd=0.75),
+    "mem.line_writeback": _core(400.0, vdd=0.6),
+    # --- NoC [A3]: priced per router traversal / per link traversal ----------
+    "noc1.router_pass": _core(3.7, vdd=0.8),
+    "noc2.router_pass": _core(3.7, vdd=0.8),
+    "noc3.router_pass": _core(3.7, vdd=0.8),
+    "noc1.flit_hop": _core(0.0, 13.4),
+    "noc2.flit_hop": _core(0.0, 13.4),
+    "noc3.flit_hop": _core(0.0, 13.4),
+    "noc1.coupling": _core(0.0, 0.3),
+    "noc2.coupling": _core(0.0, 0.3),
+    "noc3.coupling": _core(0.0, 0.3),
+    # Local (0-hop) message flits still pass the local router port; the
+    # transaction-level memory system records noc*.flit per message.
+    "noc1.flit": _core(4.0, vdd=0.8),
+    "noc2.flit": _core(4.0, vdd=0.8),
+    "noc3.flit": _core(4.0, vdd=0.8),
+    # --- off-chip [Fig 16 VIO traces; Table IX hmmer/libquantum] -------------
+    "io.beat": EventEnergy(base_pj=800.0, act_pj=3200.0, rail="io"),
+    "chipbridge.flit": _core(8.0, vdd=0.9),
+    "mitts.stall_cycle": _core(1.5),  # shaper bin/credit logic
+    "chipset.request": _core(0.0),  # chipset FPGA: not on Piton rails
+    "dram.burst": _core(0.0),  # DRAM energy excluded, as in the paper
+    "dram.refresh": _core(0.0),
+}
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Full power/frequency calibration."""
+
+    # --- static (leakage) power [Table V, Fig 10] ----------------------------
+    #: Chip #2 static power at Table III voltages and T_ref die temp.
+    #: The bench anchor (389.3 mW "at room temperature") includes ~5 C
+    #: of self-heating; solving the thermal fixed point back-propagates
+    #: to 358.2 mW at a true 25 C die.
+    static_total_w: float = 0.358124
+    #: Share of static power on VDD (logic) vs VCS (SRAM arrays);
+    #: Fig 10 / Fig 16 show core static well above SRAM static
+    #: (the VCS rail sits near 270 mW during the SPEC runs).
+    static_vdd_frac: float = 0.70
+    #: Exponential voltage sensitivity of leakage, per volt.
+    leak_per_volt: float = 2.5
+    #: Exponential temperature sensitivity of leakage, per deg C
+    #: [Fig 17's power-temperature exponential].
+    leak_per_degc: float = 0.016
+    #: Room (reference) temperature for the static anchor, deg C.
+    t_ref_c: float = 25.0
+
+    # --- idle (clock) dynamic power [Table V] ---------------------------------
+    #: Effective switched capacitance of the clock network + always-on
+    #: FSMs, fitted so the *measured* idle (static at the self-heated
+    #: ~52 C die plus C V^2 f) reproduces Table V's 2015.3 mW.
+    idle_cap_f: float = 2.902e-9
+    #: Share of idle dynamic power on VDD (clock trees are logic;
+    #: Fig 10 shows SRAM dynamic power is a thin sliver).
+    idle_vdd_frac: float = 0.929
+
+    # --- Fmax (alpha-power law) [Fig 9] ---------------------------------------
+    #: Threshold voltage and velocity-saturation exponent fitted to
+    #: chip #2's 285.74 MHz @ 0.80V and 514.33 MHz @ 1.00V.
+    vth_v: float = 0.50
+    alpha: float = 1.6
+    fmax_ref_hz: float = 514.33e6
+    fmax_ref_vdd: float = 1.00
+
+    # --- thermal [Sec IV-C, IV-J] ---------------------------------------------
+    #: Junction-to-ambient thermal resistance with the stock heat sink
+    #: and 44 cfm fan (cavity-up QFP in a socket: poor).
+    r_theta_ja: float = 13.0
+    #: Junction-to-ambient without the heat sink (Sec IV-J setup).
+    r_theta_no_heatsink: float = 38.0
+    #: Maximum junction temperature for stable Linux operation.
+    t_max_c: float = 88.0
+
+    # --- nominal rails [Table III] --------------------------------------------
+    vdd_nom: float = 1.00
+    vcs_nom: float = 1.05
+    vio_nom: float = 1.80
+
+    event_energies: Mapping[str, EventEnergy] = field(
+        default_factory=lambda: dict(EVENT_ENERGIES)
+    )
+
+    def energy_for(self, name: str) -> EventEnergy | None:
+        return self.event_energies.get(name)
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,52 @@
+"""The paper's NoC energy-per-flit methodology (Section IV-G).
+
+    EPF = (47/7) x (P_hop - P_base) / f
+
+``P_base`` is the steady-state power while the chipset streams dummy
+packets to tile 0 (zero mesh hops); ``P_hop`` the power streaming to a
+tile ``h`` hops away. The 47/7 factor converts average per-cycle energy
+into per-valid-flit energy: the chip bridge's bandwidth mismatch admits
+exactly 7 valid flits per repeating 47-cycle pattern (verified through
+simulation in the paper; reproduced by
+:meth:`repro.chip.chipbridge.ChipBridge.traffic_pattern`).
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import Measurement
+
+
+def energy_per_flit(
+    p_hop_w: Measurement,
+    p_base_w: Measurement,
+    freq_hz: float,
+    pattern_cycles: int = 47,
+    pattern_flits: int = 7,
+) -> Measurement:
+    """Apply the EPF equation; returns joules per flit (for the given
+    hop count, relative to the zero-hop baseline)."""
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    if pattern_cycles <= 0 or pattern_flits <= 0:
+        raise ValueError("traffic pattern must be non-empty")
+    delta = p_hop_w - p_base_w
+    return delta * (pattern_cycles / (pattern_flits * freq_hz))
+
+
+def pj_per_hop_trendline(
+    hops: list[int], epf_j: list[float]
+) -> tuple[float, float]:
+    """Least-squares (slope, intercept) of EPF versus hop count, the
+    quantity Figure 12's legend quotes (e.g. ~11.16 pJ/hop for HSW).
+    Returned in joules per hop / joules."""
+    if len(hops) != len(epf_j) or len(hops) < 2:
+        raise ValueError("need matching lists with at least two points")
+    n = len(hops)
+    mean_x = sum(hops) / n
+    mean_y = sum(epf_j) / n
+    sxx = sum((x - mean_x) ** 2 for x in hops)
+    if sxx == 0:
+        raise ValueError("hop counts are all identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(hops, epf_j))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x

@@ -1,0 +1,48 @@
+"""The paper's energy-per-instruction methodology (Section IV-E).
+
+    EPI = (1/25) x ((P_inst - P_idle) / f) x L
+
+where ``P_inst`` is the steady-state power while all 25 cores run the
+unrolled instruction loop, ``P_idle`` the idle power of Table V, ``f``
+the core clock, and ``L`` the instruction's latency in cycles verified
+through simulation. Powers sum the VDD and VCS rail contributions.
+
+These helpers operate on :class:`~repro.util.stats.Measurement` values
+so the error bars propagate exactly as in the paper (standard deviation
+of the 128 monitor samples).
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import Measurement
+
+
+def energy_per_instruction(
+    p_inst_w: Measurement,
+    p_idle_w: Measurement,
+    freq_hz: float,
+    latency_cycles: float,
+    cores: int = 25,
+) -> Measurement:
+    """Apply the EPI equation; returns joules per instruction."""
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    if latency_cycles <= 0:
+        raise ValueError("latency must be positive")
+    if cores <= 0:
+        raise ValueError("core count must be positive")
+    delta = p_inst_w - p_idle_w
+    return delta * (latency_cycles / (freq_hz * cores))
+
+
+def subtract_filler_energy(
+    epi_with_filler: Measurement,
+    filler_epi: Measurement,
+    filler_count: int,
+) -> Measurement:
+    """The paper's ``stx (NF)`` correction: the store test pads each
+    store with nine ``nop``\\ s so the buffer never fills; their energy
+    is then subtracted to isolate one store."""
+    if filler_count < 0:
+        raise ValueError("filler count must be non-negative")
+    return epi_with_filler - filler_epi * filler_count

@@ -1,0 +1,136 @@
+"""Refit the power model's global anchors to new measurements.
+
+The paper's data lets other groups calibrate models to *their* chip;
+this module is the inverse tool for the reproduction: given a chip's
+measured static and idle powers (and optionally two Fmax points), solve
+the calibration constants so the *bench-measured* values — including
+the self-heating fixed point — land on the targets. This is exactly
+the procedure used to fit the shipped defaults to Table V and Figure 9
+(see ``calibration.py``), packaged for reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.power.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+from repro.silicon.variation import ChipPersona, TYPICAL
+
+
+def _measured_core_w(
+    calib: Calibration,
+    persona: ChipPersona,
+    idle: bool,
+    r_ja: float,
+    ambient_c: float = 25.0,
+) -> float:
+    """Noise-free bench measurement at the thermal fixed point."""
+    model = ChipPowerModel(persona, calib)
+    temp = ambient_c
+    for _ in range(300):
+        op = OperatingPoint(temp_c=temp)
+        power = (
+            model.idle_power(op) if idle else model.static_power(op)
+        ).total_w
+        new_temp = ambient_c + r_ja * power
+        if abs(new_temp - temp) < 1e-7:
+            break
+        temp += 0.5 * (new_temp - temp)
+    op = OperatingPoint(temp_c=temp)
+    rails = model.idle_power(op) if idle else model.static_power(op)
+    return rails.vdd_w + rails.vcs_w
+
+
+def fit_static_idle(
+    static_target_w: float,
+    idle_target_w: float,
+    persona: ChipPersona = TYPICAL,
+    base: Calibration = DEFAULT_CALIBRATION,
+    iterations: int = 60,
+) -> Calibration:
+    """Solve (static_total_w, idle_cap_f) so the measured values hit
+    the targets under the self-heating fixed point.
+
+    Alternating one-dimensional updates; each sub-problem is monotone,
+    so the iteration contracts quickly.
+    """
+    if static_target_w <= 0 or idle_target_w <= static_target_w:
+        raise ValueError(
+            "need 0 < static target < idle target (watts)"
+        )
+    calib = base
+    r_ja = base.r_theta_ja
+    for _ in range(iterations):
+        measured_static = _measured_core_w(calib, persona, False, r_ja)
+        calib = replace(
+            calib,
+            static_total_w=calib.static_total_w
+            * static_target_w
+            / measured_static,
+        )
+        measured_idle = _measured_core_w(calib, persona, True, r_ja)
+        # Attribute the idle error to the clock capacitance.
+        freq = 500.05e6
+        eff_v2 = (
+            calib.idle_vdd_frac * 1.0
+            + (1 - calib.idle_vdd_frac) * 1.05**2
+        )
+        delta_cap = (idle_target_w - measured_idle) / (eff_v2 * freq)
+        calib = replace(
+            calib, idle_cap_f=max(1e-12, calib.idle_cap_f + delta_cap)
+        )
+        if (
+            abs(measured_static - static_target_w) < 1e-6
+            and abs(measured_idle - idle_target_w) < 1e-6
+        ):
+            break
+    return calib
+
+
+def fit_fmax(
+    anchors: list[tuple[float, float]],
+    base: Calibration = DEFAULT_CALIBRATION,
+) -> Calibration:
+    """Fit the alpha-power-law Fmax parameters to (VDD, Hz) anchors.
+
+    With one anchor only the reference scale moves; with two or more,
+    (vth, alpha) are grid-searched and the scale follows analytically.
+    """
+    if not anchors:
+        raise ValueError("need at least one (vdd, hz) anchor")
+    ref_vdd, ref_hz = anchors[-1]
+    if len(anchors) == 1:
+        return replace(
+            base, fmax_ref_vdd=ref_vdd, fmax_ref_hz=ref_hz
+        )
+
+    def shape(v: float, vth: float, alpha: float) -> float:
+        if v <= vth:
+            return 0.0
+        return (v - vth) ** alpha / v
+
+    best = None
+    for vth_i in range(20, 61):
+        vth = vth_i / 100.0
+        for alpha_i in range(100, 221, 5):
+            alpha = alpha_i / 100.0
+            base_shape = shape(ref_vdd, vth, alpha)
+            if base_shape == 0.0:
+                continue
+            error = 0.0
+            for vdd, hz in anchors:
+                predicted = ref_hz * shape(vdd, vth, alpha) / base_shape
+                error += (math.log(max(predicted, 1.0)) - math.log(hz)) ** 2
+            if best is None or error < best[0]:
+                best = (error, vth, alpha)
+    assert best is not None
+    _, vth, alpha = best
+    return replace(
+        base,
+        vth_v=vth,
+        alpha=alpha,
+        fmax_ref_vdd=ref_vdd,
+        fmax_ref_hz=ref_hz,
+    )

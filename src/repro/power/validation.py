@@ -1,0 +1,172 @@
+"""Calibration self-check: every paper anchor, recomputed and diffed.
+
+The paper's core claim to rigor is that measurements were "verified
+against simulation" and correlated with the RTL. The reproduction's
+equivalent: this module recomputes each calibration anchor through the
+full simulate-measure-methodology pipeline and reports the deviation
+from the published value. Run it after touching anything in
+:mod:`repro.power.calibration`:
+
+    from repro.power.validation import validate_anchors, render_report
+    print(render_report(validate_anchors(quick=True)))
+
+The regression suite pins these same checks; this module exists so a
+*user* retuning the model for their own design gets the diff tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One anchor's outcome."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    unit: str
+    tolerance: float  # relative
+
+    @property
+    def deviation(self) -> float:
+        if self.paper_value == 0:
+            return 0.0
+        return (
+            self.measured_value - self.paper_value
+        ) / self.paper_value
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.deviation) <= self.tolerance
+
+
+def _check(
+    name: str,
+    paper: float,
+    measure: Callable[[], float],
+    unit: str,
+    tolerance: float,
+) -> AnchorCheck:
+    return AnchorCheck(
+        name=name,
+        paper_value=paper,
+        measured_value=measure(),
+        unit=unit,
+        tolerance=tolerance,
+    )
+
+
+def validate_anchors(quick: bool = True) -> list[AnchorCheck]:
+    """Recompute the calibration anchors. ``quick`` uses fewer cores
+    for the simulation-backed checks (tolerances widened accordingly).
+    """
+    from repro.experiments import fig11_epi, table7_memory
+    from repro.power.vf_curve import VfCurve
+    from repro.silicon.variation import CHIP2, CHIP3
+    from repro.system import PitonSystem
+
+    checks: list[AnchorCheck] = []
+
+    chip2 = PitonSystem.default(seed=101)
+    checks.append(
+        _check(
+            "table5.static_mw",
+            389.3,
+            lambda: chip2.measure_static().core.value * 1e3,
+            "mW",
+            0.02,
+        )
+    )
+    checks.append(
+        _check(
+            "table5.idle_mw",
+            2015.3,
+            lambda: chip2.measure_idle().core.value * 1e3,
+            "mW",
+            0.02,
+        )
+    )
+
+    chip3 = PitonSystem.default(persona=CHIP3, seed=101)
+    checks.append(
+        _check(
+            "chip3.static_mw",
+            364.8,
+            lambda: chip3.measure_static().core.value * 1e3,
+            "mW",
+            0.02,
+        )
+    )
+
+    curve = VfCurve(CHIP2)
+    checks.append(
+        _check(
+            "fig9.fmax_1v_mhz",
+            514.33,
+            lambda: curve.boot_frequency(1.0).fmax_hz / 1e6,
+            "MHz",
+            0.03,
+        )
+    )
+
+    cores = 4 if quick else 25
+    epi = fig11_epi.run(quick=True, cores=cores)
+    rows = epi.row_dict()
+    checks.append(
+        AnchorCheck(
+            "fig11.ldx_random_pj",
+            286.46,
+            float(rows["ldx"][3]),
+            "pJ",
+            0.12,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            "fig11.three_adds_per_ldx",
+            1.0,
+            3 * float(rows["add"][3]) / float(rows["ldx"][3]),
+            "ratio",
+            0.15,
+        )
+    )
+
+    table7 = table7_memory.run(quick=True, cores=cores)
+    t7 = table7.row_dict()
+    checks.append(
+        AnchorCheck(
+            "table7.local_l2_nj",
+            1.54,
+            float(t7["L1 miss, local L2 hit"][3]),
+            "nJ",
+            0.15,
+        )
+    )
+    return checks
+
+
+def render_report(checks: list[AnchorCheck]) -> str:
+    from repro.util.tables import render_table
+
+    rows = [
+        (
+            c.name,
+            c.paper_value,
+            round(c.measured_value, 3),
+            c.unit,
+            f"{100 * c.deviation:+.1f}%",
+            "ok" if c.within_tolerance else "OUT OF TOLERANCE",
+        )
+        for c in checks
+    ]
+    passed = sum(c.within_tolerance for c in checks)
+    table = render_table(
+        ["anchor", "paper", "measured", "unit", "deviation", "status"],
+        rows,
+        title=f"Calibration anchors: {passed}/{len(checks)} within "
+        "tolerance",
+    )
+    return table

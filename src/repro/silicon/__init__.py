@@ -1,0 +1,46 @@
+"""Silicon-instance modelling: process variation personas and yield.
+
+A *persona* captures how one physical die differs from typical silicon
+— correlated speed and leakage scalars (fast die leak more), plus a
+dynamic-capacitance scalar. The three chips the paper measures (and the
+unnamed chip of the thermal study) ship as named personas calibrated to
+their published static/idle powers and Fmax curves. The yield model
+reproduces Table IV's testing statistics from per-die defect draws.
+"""
+
+from repro.silicon.variation import (
+    CHIP1,
+    CHIP2,
+    CHIP3,
+    THERMAL_CHIP,
+    TYPICAL,
+    ChipPersona,
+    sample_persona,
+)
+from repro.silicon.binning import SpeedBin, SpeedBinner
+from repro.silicon.sram_repair import RepairFlow, SramArray, allocate_spares
+from repro.silicon.yield_model import (
+    ChipStatus,
+    YieldModel,
+    YieldParameters,
+    YieldSummary,
+)
+
+__all__ = [
+    "CHIP1",
+    "CHIP2",
+    "CHIP3",
+    "THERMAL_CHIP",
+    "TYPICAL",
+    "ChipPersona",
+    "sample_persona",
+    "ChipStatus",
+    "YieldModel",
+    "YieldParameters",
+    "YieldSummary",
+    "SpeedBin",
+    "SpeedBinner",
+    "RepairFlow",
+    "SramArray",
+    "allocate_spares",
+]

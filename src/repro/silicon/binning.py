@@ -1,0 +1,108 @@
+"""Speed binning: sorting good die by maximum stable frequency.
+
+The paper tests 32 die and characterizes three; a production flow would
+*bin* the good ones. Built on the same machinery (persona sampling →
+VF curve with thermal limiting), this module sorts a simulated lot into
+frequency bins at a chosen shipping voltage — quantifying how the
+process spread of Figure 9 would translate into sellable SKUs, and
+which fast-but-leaky die (the Chip-#1 persona's corner) fail their bin
+on thermals rather than timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.silicon.variation import ChipPersona, sample_persona
+from repro.util.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class SpeedBin:
+    """One shippable SKU."""
+
+    name: str
+    min_mhz: float
+
+
+#: Default SKU ladder around the 500.05 MHz shipping point.
+DEFAULT_BINS = (
+    SpeedBin("bin-550", 550.0),
+    SpeedBin("bin-500", 500.0),
+    SpeedBin("bin-450", 450.0),
+    SpeedBin("bin-400", 400.0),
+)
+
+
+@dataclass
+class BinnedDie:
+    die_id: int
+    persona: ChipPersona
+    fmax_mhz: float
+    thermally_limited: bool
+    bin_name: str | None  # None = below the slowest bin
+
+
+@dataclass
+class BinningReport:
+    dies: list[BinnedDie] = field(default_factory=list)
+
+    def count(self, bin_name: str | None) -> int:
+        return sum(1 for d in self.dies if d.bin_name == bin_name)
+
+    def share(self, bin_name: str | None) -> float:
+        if not self.dies:
+            return 0.0
+        return self.count(bin_name) / len(self.dies)
+
+    def thermally_limited_count(self) -> int:
+        return sum(1 for d in self.dies if d.thermally_limited)
+
+
+class SpeedBinner:
+    """Bins sampled good die at a shipping voltage."""
+
+    def __init__(
+        self,
+        bins: tuple[SpeedBin, ...] = DEFAULT_BINS,
+        ship_vdd: float = 1.00,
+        rngs: RngFactory | None = None,
+    ):
+        ordered = sorted(bins, key=lambda b: -b.min_mhz)
+        if [b.min_mhz for b in ordered] != [b.min_mhz for b in bins]:
+            raise ValueError("bins must be ordered fastest first")
+        if len({b.min_mhz for b in bins}) != len(bins):
+            raise ValueError("bin thresholds must be distinct")
+        self.bins = bins
+        self.ship_vdd = ship_vdd
+        self.rngs = rngs or RngFactory(0)
+
+    def bin_die(self, die_id: int) -> BinnedDie:
+        # Imported lazily: repro.power depends on repro.silicon for the
+        # persona types, so the VF curve cannot be a module-level
+        # import here without a cycle.
+        from repro.power.vf_curve import VfCurve
+
+        persona = sample_persona(
+            self.rngs.fresh(f"bin-die:{die_id}"), die_id
+        )
+        point = VfCurve(persona).boot_frequency(self.ship_vdd)
+        fmax_mhz = point.fmax_hz / 1e6
+        bin_name = next(
+            (b.name for b in self.bins if fmax_mhz >= b.min_mhz), None
+        )
+        return BinnedDie(
+            die_id=die_id,
+            persona=persona,
+            fmax_mhz=fmax_mhz,
+            thermally_limited=point.thermally_limited,
+            bin_name=bin_name,
+        )
+
+    def bin_lot(self, count: int) -> BinningReport:
+        if count <= 0:
+            raise ValueError("lot size must be positive")
+        report = BinningReport()
+        for die_id in range(count):
+            report.dies.append(self.bin_die(die_id))
+        return report

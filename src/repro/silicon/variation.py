@@ -1,0 +1,84 @@
+"""Per-die process-variation personas.
+
+Process corners move threshold voltage and effective channel length
+together: a *fast* die (low Vth) switches quicker but leaks
+exponentially more — exactly the behaviour Figure 9 exposes, where
+Chip #1 is fastest below 1.0V yet hits the cooling wall first and
+falls off above 1.15V. Personas are calibrated to the published
+per-chip anchors:
+
+* Chip #2 (the paper's workhorse): 389.3 mW static, 2015.3 mW idle at
+  the Table III defaults — defined as the 1.0/1.0/1.0 reference.
+* Chip #3 (microbenchmark studies): 364.8 mW static, 1906.2 mW idle.
+* Chip #1: fastest at low voltage, leakiest, thermally limited first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChipPersona:
+    """One die's deviation from typical silicon.
+
+    ``speed``   – critical-path speed multiplier (>1 is faster),
+    ``leak``    – static (leakage) power multiplier,
+    ``dyn``     – switched-capacitance multiplier (idle + active dynamic).
+    """
+
+    name: str
+    speed: float = 1.0
+    leak: float = 1.0
+    dyn: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("speed", "leak", "dyn"):
+            value = getattr(self, field_name)
+            if not 0.5 <= value <= 2.0:
+                raise ValueError(
+                    f"{field_name}={value} outside plausible range [0.5, 2]"
+                )
+
+
+TYPICAL = ChipPersona("typical")
+
+# Calibrated to Table V: 389.3 mW static / 2015.3 mW idle; Fig 9 anchor
+# 514.33 MHz at 1.0V.
+CHIP2 = ChipPersona("chip2", speed=1.0, leak=1.0, dyn=1.0)
+
+# Static 364.8 mW (0.937x), idle 1906.2 mW => idle dynamic 1541.4 mW
+# versus chip2's 1626.0 mW (0.948x); slightly slow.
+CHIP3 = ChipPersona("chip3", speed=0.985, leak=0.9426, dyn=0.9575)
+
+# Fastest at low VDD (highest Fig 9 curve below 1.0V), leakiest, and
+# the one that droops at 1.2V when the package cannot shed the heat.
+CHIP1 = ChipPersona("chip1", speed=1.05, leak=1.30, dyn=1.06)
+
+# The unnamed die used for the Section IV-J thermal study.
+THERMAL_CHIP = ChipPersona("thermal_chip", speed=0.99, leak=1.05, dyn=0.99)
+
+#: Correlation between speed and log-leakage across die: faster silicon
+#: (lower Vth) leaks more.
+SPEED_LEAK_CORRELATION = 0.8
+SPEED_SIGMA = 0.035
+LEAK_LOG_SIGMA = 0.22
+DYN_SIGMA = 0.04
+
+
+def sample_persona(rng: np.random.Generator, index: int = 0) -> ChipPersona:
+    """Draw a random die from the process distribution.
+
+    Speed is normal around 1.0; log-leakage is normal and correlated
+    with speed; dynamic capacitance varies independently and mildly.
+    """
+    z_speed = rng.normal()
+    z_leak = SPEED_LEAK_CORRELATION * z_speed + (
+        (1 - SPEED_LEAK_CORRELATION**2) ** 0.5
+    ) * rng.normal()
+    speed = float(np.clip(1.0 + SPEED_SIGMA * z_speed, 0.85, 1.18))
+    leak = float(np.clip(np.exp(LEAK_LOG_SIGMA * z_leak), 0.6, 1.9))
+    dyn = float(np.clip(1.0 + DYN_SIGMA * rng.normal(), 0.85, 1.15))
+    return ChipPersona(f"die{index}", speed=speed, leak=leak, dyn=dyn)

@@ -1,0 +1,171 @@
+"""Table IV yield simulation.
+
+The paper tested 32 of 45 packaged die (from 118 received) and sorted
+them into five buckets. We model the physical failure mechanisms the
+paper hypothesizes:
+
+* Poisson-distributed SRAM cell defects (hard): a die with at least one
+  unrepaired hard defect "consistently fails deterministically";
+* marginal/unstable SRAM cells: nondeterministic failures;
+* manufacturing shorts on VCS or VDD: abnormal current draw.
+
+Rates are calibrated so the *expected* bucket shares match Table IV
+(59.4% good, 21.9% deterministic-unstable, 12.5% VCS short, 3.1% VDD
+short, 3.1% nondeterministic) while individual draws show realistic
+small-sample noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.silicon.sram_repair import RepairFlow
+from repro.util.rng import RngFactory
+
+
+class ChipStatus(enum.Enum):
+    GOOD = "good"
+    UNSTABLE_DETERMINISTIC = "unstable_deterministic"  # bad SRAM cells
+    UNSTABLE_NONDETERMINISTIC = "unstable_nondeterministic"
+    BAD_VCS_SHORT = "bad_vcs_short"
+    BAD_VDD_SHORT = "bad_vdd_short"
+
+    @property
+    def repairable(self) -> bool:
+        """Possibly fixable with Piton's SRAM row/column remap."""
+        return self in (
+            ChipStatus.UNSTABLE_DETERMINISTIC,
+            ChipStatus.UNSTABLE_NONDETERMINISTIC,
+        )
+
+
+#: Paper Table IV bucket shares (of 32 tested chips).
+PAPER_SHARES = {
+    ChipStatus.GOOD: 19 / 32,
+    ChipStatus.UNSTABLE_DETERMINISTIC: 7 / 32,
+    ChipStatus.BAD_VCS_SHORT: 4 / 32,
+    ChipStatus.BAD_VDD_SHORT: 1 / 32,
+    ChipStatus.UNSTABLE_NONDETERMINISTIC: 1 / 32,
+}
+
+
+@dataclass(frozen=True)
+class YieldParameters:
+    """Physical defect rates, calibrated to reproduce Table IV shares.
+
+    With shorts checked first (a shorted die cannot be tested further),
+    the bucket probabilities compose as
+
+        P(vcs short) = p_vcs
+        P(vdd short) = (1 - p_vcs) * p_vdd
+        P(det. unstable | no short) = 1 - exp(-lambda_hard)
+        P(nondet. unstable | no short, no hard) = 1 - exp(-lambda_soft)
+    """
+
+    p_vcs_short: float = 4 / 32
+    p_vdd_short: float = (1 / 32) / (1 - 4 / 32)
+    #: Mean unrepaired hard SRAM defects per die:
+    #: -ln(1 - (7/32)/0.84375).
+    lambda_hard: float = 0.3001
+    #: Mean marginal-cell defects per die: -ln(1 - 0.05).
+    lambda_soft: float = 0.0513
+
+    def expected_shares(self) -> dict[ChipStatus, float]:
+        p_no_short = (1 - self.p_vcs_short) * (1 - self.p_vdd_short)
+        p_hard = 1 - float(np.exp(-self.lambda_hard))
+        p_soft = 1 - float(np.exp(-self.lambda_soft))
+        return {
+            ChipStatus.BAD_VCS_SHORT: self.p_vcs_short,
+            ChipStatus.BAD_VDD_SHORT: (1 - self.p_vcs_short)
+            * self.p_vdd_short,
+            ChipStatus.UNSTABLE_DETERMINISTIC: p_no_short * p_hard,
+            ChipStatus.UNSTABLE_NONDETERMINISTIC: p_no_short
+            * (1 - p_hard)
+            * p_soft,
+            ChipStatus.GOOD: p_no_short * (1 - p_hard) * (1 - p_soft),
+        }
+
+
+@dataclass
+class DieReport:
+    die_id: int
+    status: ChipStatus
+    hard_defects: int = 0
+    soft_defects: int = 0
+
+
+@dataclass
+class YieldSummary:
+    reports: list[DieReport] = field(default_factory=list)
+
+    def count(self, status: ChipStatus) -> int:
+        return sum(1 for r in self.reports if r.status is status)
+
+    def percentage(self, status: ChipStatus) -> float:
+        if not self.reports:
+            return 0.0
+        return 100.0 * self.count(status) / len(self.reports)
+
+    @property
+    def tested(self) -> int:
+        return len(self.reports)
+
+
+class YieldModel:
+    """Simulates packaging + testing a sample of die."""
+
+    def __init__(
+        self,
+        params: YieldParameters | None = None,
+        rngs: RngFactory | None = None,
+    ):
+        self.params = params or YieldParameters()
+        self.rngs = rngs or RngFactory(0)
+
+    def test_die(self, die_id: int) -> DieReport:
+        rng = self.rngs.fresh(f"die:{die_id}")
+        p = self.params
+        if rng.random() < p.p_vcs_short:
+            return DieReport(die_id, ChipStatus.BAD_VCS_SHORT)
+        if rng.random() < p.p_vdd_short:
+            return DieReport(die_id, ChipStatus.BAD_VDD_SHORT)
+        hard = int(rng.poisson(p.lambda_hard))
+        soft = int(rng.poisson(p.lambda_soft))
+        if hard > 0:
+            return DieReport(
+                die_id, ChipStatus.UNSTABLE_DETERMINISTIC, hard, soft
+            )
+        if soft > 0:
+            return DieReport(
+                die_id, ChipStatus.UNSTABLE_NONDETERMINISTIC, hard, soft
+            )
+        return DieReport(die_id, ChipStatus.GOOD)
+
+    def test_lot(self, count: int = 32) -> YieldSummary:
+        """Test ``count`` randomly selected packaged die."""
+        summary = YieldSummary()
+        for die_id in range(count):
+            summary.reports.append(self.test_die(die_id))
+        return summary
+
+    def repair_lot(self, summary: YieldSummary) -> dict[int, bool]:
+        """Run the SRAM repair flow over a tested lot's repairable die.
+
+        The paper left this flow "in development"; here it is: each
+        unstable die's hard defects are scattered over its SRAM macros
+        and the exact spare-allocation solver decides whether remapping
+        saves it. Returns {die_id: saved} for the repairable die.
+        """
+        flow = RepairFlow()
+        results: dict[int, bool] = {}
+        for report in summary.reports:
+            if not report.status.repairable:
+                continue
+            rng = self.rngs.fresh(f"repair:{report.die_id}")
+            defects = max(1, report.hard_defects + report.soft_defects)
+            outcome = flow.repair_random_die(rng, defects)
+            results[report.die_id] = outcome.repaired
+        return results

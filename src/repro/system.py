@@ -1,0 +1,197 @@
+"""Top-level facade: a complete Piton system you can run and measure.
+
+:class:`PitonSystem` binds together a chip persona, the architectural
+simulator (cores + coherent memory + off-chip path), the power model,
+the cooling stack, and the virtual test board. The standard experiment
+flow is::
+
+    system = PitonSystem.default()
+    run = system.run_workload({0: [program]}, warmup_cycles=2_000,
+                              window_cycles=10_000)
+    print(run.measurement.core.format(scale=1e-3), "mW on VDD+VCS")
+
+``run_workload`` mirrors the bench procedure: run to steady state
+(warm-up, events discarded), then record events over a measurement
+window and "measure" the implied power with the 17 Hz monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import DEFAULT_MEASUREMENT, MeasurementDefaults, PitonConfig
+from repro.board.monitor import RailMeasurement
+from repro.board.testboard import ExperimentalSystem
+from repro.cache.addressing import AddressMap, Interleave
+from repro.cache.system import CoherentMemorySystem
+from repro.chip.offchip import OffChipPath
+from repro.core.multicore import MulticoreEngine, RunResult
+from repro.isa.program import Program
+from repro.workloads.base import TileProgram, normalize_workload
+from repro.power.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.silicon.variation import CHIP2, ChipPersona
+from repro.thermal.cooling import STOCK_HEATSINK_FAN, CoolingSetup
+from repro.util.events import EventLedger
+
+
+@dataclass
+class WorkloadRun:
+    """Everything one measured workload run produced."""
+
+    measurement: RailMeasurement
+    result: RunResult
+    ledger: EventLedger
+    window_cycles: int
+    engine: MulticoreEngine
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+
+class PitonSystem:
+    """A chip + board + instruments, ready to run experiments."""
+
+    def __init__(
+        self,
+        persona: ChipPersona = CHIP2,
+        config: PitonConfig | None = None,
+        calib: Calibration = DEFAULT_CALIBRATION,
+        cooling: CoolingSetup = STOCK_HEATSINK_FAN,
+        defaults: MeasurementDefaults = DEFAULT_MEASUREMENT,
+        seed: int = 0,
+        interleave: Interleave = Interleave.LOW,
+    ):
+        self.persona = persona
+        self.config = config or PitonConfig()
+        self.calib = calib
+        self.defaults = defaults
+        self.interleave = interleave
+        self.bench = ExperimentalSystem(
+            persona=persona,
+            calib=calib,
+            cooling=cooling,
+            defaults=defaults,
+            seed=seed,
+        )
+
+    @classmethod
+    def default(cls, **kwargs) -> "PitonSystem":
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------- simulation
+    def new_engine(
+        self,
+        ledger: EventLedger | None = None,
+        execution_drafting: bool = False,
+    ) -> MulticoreEngine:
+        """A fresh multicore engine wired to a full off-chip path."""
+        ledger = ledger if ledger is not None else EventLedger()
+        offchip = OffChipPath(self.config, ledger)
+        offchip.set_core_clock(self.bench.freq_hz)
+        memsys = CoherentMemorySystem(
+            self.config,
+            ledger=ledger,
+            address_map=AddressMap(self.config, self.interleave),
+            offchip=offchip,
+        )
+        return MulticoreEngine(
+            self.config,
+            ledger=ledger,
+            memsys=memsys,
+            execution_drafting=execution_drafting,
+        )
+
+    def run_workload(
+        self,
+        programs_by_tile: dict[int, "TileProgram | list[Program]"],
+        warmup_cycles: int = 2_000,
+        window_cycles: int = 10_000,
+        execution_drafting: bool = False,
+    ) -> WorkloadRun:
+        """Run a steady-state workload and take the bench measurement.
+
+        ``programs_by_tile`` maps tile id -> a :class:`TileProgram` (or
+        a bare program list) with one program per hardware thread.
+        Workloads are expected to be infinite loops; use
+        :meth:`run_to_completion` for finite ones.
+        """
+        workload = normalize_workload(programs_by_tile)
+        warmup_ledger = EventLedger()
+        engine = self.new_engine(warmup_ledger, execution_drafting)
+        for tile, tp in workload.items():
+            engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
+            engine.memory.load_image(tp.memory_image)
+        engine.run(cycles=warmup_cycles)
+
+        # Swap in a fresh ledger for the measurement window.
+        window_ledger = EventLedger()
+        self._rebind_ledger(engine, window_ledger)
+        result = engine.run(cycles=window_cycles)
+
+        measurement = self.bench.measure_workload(
+            window_ledger, result.cycles
+        )
+        return WorkloadRun(
+            measurement=measurement,
+            result=result,
+            ledger=window_ledger,
+            window_cycles=result.cycles,
+            engine=engine,
+        )
+
+    def run_to_completion(
+        self,
+        programs_by_tile: dict[int, "TileProgram | list[Program]"],
+        max_cycles: int = 50_000_000,
+    ) -> WorkloadRun:
+        """Run a finite workload to completion; measures over the whole
+        execution (the paper's procedure for the energy studies, where
+        microbenchmarks run a fixed number of iterations)."""
+        workload = normalize_workload(programs_by_tile)
+        ledger = EventLedger()
+        engine = self.new_engine(ledger)
+        for tile, tp in workload.items():
+            engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
+            engine.memory.load_image(tp.memory_image)
+        result = engine.run(until_done=True, max_cycles=max_cycles)
+        measurement = self.bench.measure_workload(ledger, result.cycles)
+        return WorkloadRun(
+            measurement=measurement,
+            result=result,
+            ledger=ledger,
+            window_cycles=result.cycles,
+            engine=engine,
+        )
+
+    def _rebind_ledger(
+        self, engine: MulticoreEngine, ledger: EventLedger
+    ) -> None:
+        """Point every component of a live engine at a new ledger."""
+        engine.ledger = ledger
+        engine.memsys.ledger = ledger
+        for slice_ in engine.memsys.l2:
+            slice_.ledger = ledger
+        offchip = engine.memsys.offchip
+        if isinstance(offchip, OffChipPath):
+            offchip.ledger = ledger
+            offchip.bridge.ledger = ledger
+            offchip.dram.ledger = ledger
+        for core in engine.cores.values():
+            core.ledger = ledger
+
+    # ------------------------------------------------------------ measurement
+    def measure_static(self) -> RailMeasurement:
+        return self.bench.measure_static()
+
+    def measure_idle(self) -> RailMeasurement:
+        return self.bench.measure_idle()
+
+    def set_operating_point(
+        self, vdd: float, vcs: float, freq_hz: float, vio: float = 1.80
+    ) -> None:
+        self.bench.set_operating_point(vdd, vcs, freq_hz, vio)
+
+    @property
+    def freq_hz(self) -> float:
+        return self.bench.freq_hz

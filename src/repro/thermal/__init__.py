@@ -1,0 +1,39 @@
+"""Thermal modelling: lumped RC network, cooling options, feedback.
+
+The paper's thermal story has three parts we reproduce:
+
+* a *static* picture — die temperature is the fixed point of
+  T = T_amb + R_ja * P(T), with leakage making P exponential in T
+  (Figure 17's power-versus-temperature curves, swept by tilting the
+  fan, i.e. varying the convective resistance);
+* a *dynamic* picture — package and heat-sink thermal capacitances give
+  the system seconds-scale time constants, so application phase changes
+  drag temperature (and through leakage, power) behind them, producing
+  Figure 18's hysteresis loops;
+* a *packaging* story — the cavity-up QFP + socket + epoxy stack has a
+  high junction-to-ambient resistance, which is what thermally limits
+  Fmax at high voltage (Figure 9).
+"""
+
+from repro.thermal.cooling import (
+    CoolingSetup,
+    NO_HEATSINK,
+    STOCK_HEATSINK_FAN,
+    fan_angle_resistance,
+)
+from repro.thermal.dtm import PowerCapGovernor, ThermalThrottleGovernor
+from repro.thermal.rc_network import RcStage, ThermalNetwork
+from repro.thermal.feedback import PowerTemperatureSimulator, TraceSample
+
+__all__ = [
+    "CoolingSetup",
+    "NO_HEATSINK",
+    "STOCK_HEATSINK_FAN",
+    "fan_angle_resistance",
+    "RcStage",
+    "ThermalNetwork",
+    "PowerTemperatureSimulator",
+    "TraceSample",
+    "PowerCapGovernor",
+    "ThermalThrottleGovernor",
+]

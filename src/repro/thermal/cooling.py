@@ -1,0 +1,84 @@
+"""Cooling configurations of the two experimental setups.
+
+* The main setup (Figure 6/7): stock heat sink on aluminium spacers
+  over the cavity-up QFP, 44 cfm case fan. Deliberately over-provisioned
+  in capacity, but the die-to-sink path through the epoxy/package is
+  poor — which is the paper's explanation for the thermal Fmax limit.
+* The Section IV-J setup: heat sink removed (for camera access), chip
+  at 100.01 MHz / 0.9V, temperature swept by tilting the fan, i.e.
+  varying the convective resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thermal.rc_network import RcStage, ThermalNetwork
+
+
+@dataclass(frozen=True)
+class CoolingSetup:
+    """Named stack of RC stages."""
+
+    name: str
+    stages: tuple[RcStage, ...]
+    ambient_c: float = 25.0
+
+    def network(self) -> ThermalNetwork:
+        return ThermalNetwork(list(self.stages), self.ambient_c)
+
+    @property
+    def r_ja(self) -> float:
+        return sum(s.r_c_per_w for s in self.stages)
+
+
+# Die + spreader: small mass, fast tau. Package/epoxy: the dominant
+# resistance (cavity-up + encapsulation + socket). Heat sink: large
+# mass, slow tau, low resistance to ambient thanks to the fan.
+STOCK_HEATSINK_FAN = CoolingSetup(
+    name="stock heatsink + 44cfm fan",
+    stages=(
+        RcStage("die", 1.0, 0.8),
+        RcStage("package+epoxy+spacers", 10.0, 6.0),
+        RcStage("heatsink", 2.0, 60.0),
+    ),
+)
+
+# Without the heat sink the package sheds heat straight to moving air.
+NO_HEATSINK = CoolingSetup(
+    name="no heatsink (thermal-camera setup)",
+    stages=(
+        RcStage("die", 1.0, 0.8),
+        RcStage("package+epoxy", 12.0, 6.0),
+        RcStage("package-to-air", 25.0, 3.0),
+    ),
+    ambient_c=20.0,
+)
+
+
+def fan_angle_resistance(angle_deg: float) -> float:
+    """Package-to-air resistance as the fan tilts away (Section IV-J).
+
+    0 degrees = fan square on the package (best convection); 90 = fully
+    parallel (worst). The paper sweeps temperature by adjusting this
+    angle; we model the convective resistance rising smoothly by ~3x.
+    """
+    if not 0.0 <= angle_deg <= 90.0:
+        raise ValueError("fan angle must be within [0, 90] degrees")
+    worst, best = 46.0, 22.0
+    frac = angle_deg / 90.0
+    return best + (worst - best) * frac**1.5
+
+
+def no_heatsink_at_angle(angle_deg: float) -> CoolingSetup:
+    """The Section IV-J stack with the fan at ``angle_deg``."""
+    stages = (
+        RcStage("die", 1.0, 0.8),
+        RcStage("package+epoxy", 12.0, 6.0),
+        RcStage("package-to-air", fan_angle_resistance(angle_deg), 3.0),
+    )
+    return CoolingSetup(
+        name=f"no heatsink, fan at {angle_deg:.0f} deg",
+        stages=stages,
+        ambient_c=20.0,
+    )

@@ -1,0 +1,165 @@
+"""Dynamic thermal management: throttling governors.
+
+The paper's Section IV-J motivates thermal-aware scheduling and cites
+the power-capping / TSP literature [52][53]; Piton itself has no
+hardware DTM, making it a natural extension study. This module provides
+two governors over the power-temperature feedback simulator:
+
+* :class:`ThermalThrottleGovernor` — classic reactive DTM: drop the
+  clock one step when the die crosses the trip temperature, restore it
+  below the clear temperature (hysteretic, like Intel's thermal
+  monitor);
+* :class:`PowerCapGovernor` — a power-capping controller: keep a
+  running power estimate under a budget by the same frequency ladder.
+
+Both emit a :class:`GovernedTrace` suitable for the ablation
+experiment and the thermal examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.thermal.cooling import CoolingSetup
+from repro.thermal.rc_network import ThermalNetwork
+
+#: power_at(freq_hz, die_temp_c) -> watts: the workload/chip model the
+#: governor is driving.
+PowerModelFn = Callable[[float, float], float]
+
+
+@dataclass(frozen=True)
+class GovernorSample:
+    time_s: float
+    freq_hz: float
+    power_w: float
+    die_temp_c: float
+    throttled: bool
+
+
+@dataclass
+class GovernedTrace:
+    samples: list[GovernorSample] = field(default_factory=list)
+
+    def peak_temp_c(self) -> float:
+        return max(s.die_temp_c for s in self.samples)
+
+    def mean_freq_hz(self) -> float:
+        return sum(s.freq_hz for s in self.samples) / len(self.samples)
+
+    def throttled_fraction(self) -> float:
+        return sum(s.throttled for s in self.samples) / len(self.samples)
+
+    def work_done(self) -> float:
+        """Integral of frequency over time: cycles executed."""
+        if len(self.samples) < 2:
+            return 0.0
+        total = 0.0
+        for a, b in zip(self.samples, self.samples[1:]):
+            total += a.freq_hz * (b.time_s - a.time_s)
+        return total
+
+
+class ThermalThrottleGovernor:
+    """Hysteretic reactive thermal throttling."""
+
+    def __init__(
+        self,
+        freq_ladder_hz: list[float],
+        trip_c: float = 85.0,
+        clear_c: float = 78.0,
+    ):
+        if not freq_ladder_hz:
+            raise ValueError("need at least one frequency step")
+        if sorted(freq_ladder_hz) != freq_ladder_hz:
+            raise ValueError("ladder must be ascending")
+        if clear_c >= trip_c:
+            raise ValueError("clear temperature must be below trip")
+        self.ladder = freq_ladder_hz
+        self.trip_c = trip_c
+        self.clear_c = clear_c
+
+    def run(
+        self,
+        power_model: PowerModelFn,
+        cooling: CoolingSetup,
+        duration_s: float,
+        dt_s: float = 0.2,
+    ) -> GovernedTrace:
+        network: ThermalNetwork = cooling.network()
+        step_index = len(self.ladder) - 1  # start at full speed
+        trace = GovernedTrace()
+        t = 0.0
+        while t < duration_s:
+            temp = network.die_temp_c
+            if temp >= self.trip_c and step_index > 0:
+                step_index -= 1
+            elif temp <= self.clear_c and step_index < len(self.ladder) - 1:
+                step_index += 1
+            freq = self.ladder[step_index]
+            power = power_model(freq, temp)
+            network.step(power, dt_s)
+            t += dt_s
+            trace.samples.append(
+                GovernorSample(
+                    time_s=t,
+                    freq_hz=freq,
+                    power_w=power,
+                    die_temp_c=network.die_temp_c,
+                    throttled=step_index < len(self.ladder) - 1,
+                )
+            )
+        return trace
+
+
+class PowerCapGovernor:
+    """Frequency-ladder power capping (RAPL-style, first order)."""
+
+    def __init__(self, freq_ladder_hz: list[float], cap_w: float):
+        if not freq_ladder_hz:
+            raise ValueError("need at least one frequency step")
+        if sorted(freq_ladder_hz) != freq_ladder_hz:
+            raise ValueError("ladder must be ascending")
+        if cap_w <= 0:
+            raise ValueError("cap must be positive")
+        self.ladder = freq_ladder_hz
+        self.cap_w = cap_w
+
+    def run(
+        self,
+        power_model: PowerModelFn,
+        cooling: CoolingSetup,
+        duration_s: float,
+        dt_s: float = 0.2,
+    ) -> GovernedTrace:
+        network: ThermalNetwork = cooling.network()
+        step_index = len(self.ladder) - 1
+        trace = GovernedTrace()
+        t = 0.0
+        while t < duration_s:
+            temp = network.die_temp_c
+            power = power_model(self.ladder[step_index], temp)
+            if power > self.cap_w and step_index > 0:
+                step_index -= 1
+            elif step_index < len(self.ladder) - 1:
+                # Probe upward only if the next step stays under cap.
+                candidate = power_model(
+                    self.ladder[step_index + 1], temp
+                )
+                if candidate <= self.cap_w:
+                    step_index += 1
+            freq = self.ladder[step_index]
+            power = power_model(freq, temp)
+            network.step(power, dt_s)
+            t += dt_s
+            trace.samples.append(
+                GovernorSample(
+                    time_s=t,
+                    freq_hz=freq,
+                    power_w=power,
+                    die_temp_c=network.die_temp_c,
+                    throttled=step_index < len(self.ladder) - 1,
+                )
+            )
+        return trace

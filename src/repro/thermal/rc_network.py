@@ -1,0 +1,86 @@
+"""Lumped RC thermal network (Cauer ladder).
+
+Die -> package/encapsulation -> heat sink -> ambient, each stage a
+thermal resistance into the next node and a heat capacitance at the
+node. This is the standard compact model (HotSpot-style [71]) at the
+granularity the paper's package-level measurements support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RcStage:
+    """One ladder rung: resistance to the next node, capacity here."""
+
+    name: str
+    r_c_per_w: float  # thermal resistance, degC per watt
+    c_j_per_c: float  # heat capacity, joules per degC
+
+    def __post_init__(self) -> None:
+        if self.r_c_per_w <= 0 or self.c_j_per_c <= 0:
+            raise ValueError("thermal R and C must be positive")
+
+    @property
+    def tau_s(self) -> float:
+        return self.r_c_per_w * self.c_j_per_c
+
+
+class ThermalNetwork:
+    """Cauer ladder driven by die power, grounded at ambient."""
+
+    def __init__(self, stages: Sequence[RcStage], ambient_c: float = 25.0):
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages = list(stages)
+        self.ambient_c = ambient_c
+        self.temps = [ambient_c] * len(stages)
+
+    @property
+    def die_temp_c(self) -> float:
+        return self.temps[0]
+
+    @property
+    def total_resistance(self) -> float:
+        return sum(s.r_c_per_w for s in self.stages)
+
+    def steady_state(self, power_w: float) -> list[float]:
+        """Node temperatures once everything settles at ``power_w``."""
+        temps = []
+        temp = self.ambient_c
+        # Walk from ambient inward: all power flows through every R.
+        for stage in reversed(self.stages):
+            temp = temp + power_w * stage.r_c_per_w
+            temps.append(temp)
+        return list(reversed(temps))
+
+    def settle(self, power_w: float) -> None:
+        """Jump the state to the steady point (initial conditions)."""
+        self.temps = self.steady_state(power_w)
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the network ``dt_s`` seconds with ``power_w`` at the
+        die node; returns the new die temperature. Uses forward Euler
+        with internal sub-stepping for stability."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        min_tau = min(s.tau_s for s in self.stages)
+        substeps = max(1, int(dt_s / (0.1 * min_tau)) + 1)
+        h = dt_s / substeps
+        n = len(self.stages)
+        for _ in range(substeps):
+            flows = []
+            for i, stage in enumerate(self.stages):
+                downstream = (
+                    self.temps[i + 1] if i + 1 < n else self.ambient_c
+                )
+                flows.append((self.temps[i] - downstream) / stage.r_c_per_w)
+            new_temps = list(self.temps)
+            for i, stage in enumerate(self.stages):
+                inflow = power_w if i == 0 else flows[i - 1]
+                new_temps[i] += h * (inflow - flows[i]) / stage.c_j_per_c
+            self.temps = new_temps
+        return self.die_temp_c

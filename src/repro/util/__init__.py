@@ -1,0 +1,38 @@
+"""Shared utilities: units, deterministic RNG streams, statistics, tables.
+
+These helpers are deliberately dependency-light so that every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.rng import RngFactory
+from repro.util.stats import Measurement, mean_std
+from repro.util.units import (
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    MW,
+    NJ,
+    NS,
+    PJ,
+    UW,
+    from_unit,
+    to_unit,
+)
+
+__all__ = [
+    "RngFactory",
+    "Measurement",
+    "mean_std",
+    "GHZ",
+    "KB",
+    "MB",
+    "MHZ",
+    "MW",
+    "NJ",
+    "NS",
+    "PJ",
+    "UW",
+    "from_unit",
+    "to_unit",
+]

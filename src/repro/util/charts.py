@@ -1,0 +1,126 @@
+"""Plain-text charts for figure-type experiment output.
+
+The original figures are matplotlib plots of bench data; in a
+terminal-only environment the experiments render their series as ASCII
+charts instead — line charts for sweeps (Figures 9, 12, 13, 17) and
+bar charts for per-category data (Figure 11). No plotting dependency,
+deterministic output, easy to embed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float] | None = None,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    All series share the x grid (indices, or ``x_values``) and the y
+    scale. Returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if x_values is not None and len(x_values) != n_points:
+        raise ValueError("x_values length must match the series")
+
+    all_values = [v for values in series.values() for v in values]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(index: int) -> int:
+        if n_points == 1:
+            return 0
+        return round(index * (width - 1) / (n_points - 1))
+
+    def to_row(value: float) -> int:
+        frac = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    for glyph, (name, values) in zip(SERIES_GLYPHS, series.items()):
+        prev = None
+        for i, value in enumerate(values):
+            col, row = to_col(i), to_row(value)
+            grid[row][col] = glyph
+            # Light vertical interpolation for readability.
+            if prev is not None:
+                prev_col, prev_row = prev
+                if col - prev_col >= 1:
+                    step = (row - prev_row) / max(1, col - prev_col)
+                    for c in range(prev_col + 1, col):
+                        r = round(prev_row + step * (c - prev_col))
+                        if grid[r][c] == " ":
+                            grid[r][c] = "."
+            prev = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    if x_values is not None:
+        left = f"{x_values[0]:.4g}"
+        right = f"{x_values[-1]:.4g}"
+        pad = width - len(left) - len(right)
+        lines.append(
+            " " * (label_width + 2) + left + " " * max(1, pad) + right
+        )
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for glyph, name in zip(SERIES_GLYPHS, series.keys())
+    )
+    lines.append(f"{' ' * label_width}  [{legend}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(
+            f"{name.rjust(label_width)} |{bar} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)

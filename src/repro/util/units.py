@@ -1,0 +1,89 @@
+"""Unit conventions and conversion helpers.
+
+Internally the library uses base SI units everywhere: watts, joules,
+seconds, hertz, volts, amperes, kelvin-relative Celsius, metres, and
+bytes. The constants below are multipliers *into* base units, so
+``3 * MHZ`` is three megahertz expressed in hertz and ``5 * PJ`` is five
+picojoules expressed in joules.
+
+The paper reports results in mW, pJ, nJ, MHz and cycles; experiment
+modules convert at the presentation boundary only, via :func:`to_unit`.
+"""
+
+from __future__ import annotations
+
+# --- multipliers into base units -------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+UW = 1e-6
+MW = 1e-3
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+MV = 1e-3
+
+UM = 1e-6
+MM = 1e-3
+
+KB = 1024
+MB = 1024 * 1024
+
+_UNITS = {
+    "W": 1.0,
+    "mW": MW,
+    "uW": UW,
+    "J": 1.0,
+    "mJ": MJ,
+    "uJ": UJ,
+    "nJ": NJ,
+    "pJ": PJ,
+    "s": 1.0,
+    "ms": MS,
+    "us": US,
+    "ns": NS,
+    "Hz": 1.0,
+    "kHz": KHZ,
+    "MHz": MHZ,
+    "GHz": GHZ,
+    "V": 1.0,
+    "mV": MV,
+    "m": 1.0,
+    "mm": MM,
+    "um": UM,
+    "B": 1.0,
+    "KB": float(KB),
+    "MB": float(MB),
+}
+
+
+def to_unit(value: float, unit: str) -> float:
+    """Convert ``value`` (in base units) into ``unit``.
+
+    >>> to_unit(0.3893, "mW")
+    389.3
+    """
+    try:
+        return value / _UNITS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit {unit!r}") from None
+
+
+def from_unit(value: float, unit: str) -> float:
+    """Convert ``value`` expressed in ``unit`` into base units.
+
+    >>> from_unit(500.05, "MHz")
+    500050000.0
+    """
+    try:
+        return value * _UNITS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit {unit!r}") from None

@@ -1,0 +1,21 @@
+"""Workloads: everything the paper runs on the chip.
+
+* ``epi_tests`` — the Section IV-E unrolled per-instruction loops with
+  minimum/random/maximum operands, including the nine-``nop`` padded
+  store test and the store-buffer-full variant.
+* ``memtests`` — the Section IV-F set-aliasing load loops steering hits
+  at the L1, a local L2 slice, remote slices at chosen hop counts, and
+  off-chip DRAM.
+* ``noc_tests`` — the Section IV-G chipset-injected dummy-packet
+  streams with the four bit-switching patterns.
+* ``microbench`` — Int, HP, and Hist (Section IV-H), as real assembly
+  including Hist's CAS-based lock.
+* ``phases`` — the two-phase (compute/idle) thermal-scheduling test of
+  Section IV-J.
+* ``spec`` — SPECint 2006 profile replay (Section IV-I) for Piton and
+  the UltraSPARC T1 reference machine.
+"""
+
+from repro.workloads.base import TileProgram, normalize_workload
+
+__all__ = ["TileProgram", "normalize_workload"]

@@ -1,0 +1,38 @@
+"""Workload plumbing shared by all workload builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+
+
+@dataclass
+class TileProgram:
+    """What one tile runs: one program per hardware thread, plus any
+    registers the threads expect pre-loaded (operand values, base
+    addresses, thread ids)."""
+
+    programs: list[Program]
+    init_regs: dict[int, int] = field(default_factory=dict)
+    init_fregs: dict[int, float] = field(default_factory=dict)
+    #: {byte_addr: 64-bit value} pre-loaded into shared memory before
+    #: the run (the data the workload's loads will read).
+    memory_image: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ValueError("a tile needs at least one thread program")
+
+
+def normalize_workload(
+    programs_by_tile: dict[int, "TileProgram | list[Program]"],
+) -> dict[int, TileProgram]:
+    """Accept either TilePrograms or bare program lists."""
+    out: dict[int, TileProgram] = {}
+    for tile, entry in programs_by_tile.items():
+        if isinstance(entry, TileProgram):
+            out[tile] = entry
+        else:
+            out[tile] = TileProgram(programs=list(entry))
+    return out

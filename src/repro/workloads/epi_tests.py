@@ -1,0 +1,237 @@
+"""Section IV-E energy-per-instruction assembly tests.
+
+Each test is "an assembly test ... with the target instruction in an
+infinite loop unrolled by a factor of 20", small enough to live in the
+L1 caches, with no extraneous memory activity. Operand values are
+planted in registers (and, for loads, in memory) according to the
+minimum / random / maximum policy. The two store variants reproduce
+the paper's special handling:
+
+* ``stx (NF)`` — nine ``nop``\\ s after every store so the 8-entry
+  store buffer (draining one store per 10 cycles) never fills; the nop
+  energy is subtracted afterwards;
+* ``stx (F)`` — back-to-back stores, so the core's speculative issue
+  hits a full buffer and pays the roll-back/replay energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instructions import opcode
+from repro.isa.operands import OperandPolicy, operand_value
+from repro.isa.program import Instruction, Program, flat_program
+from repro.workloads.base import TileProgram
+
+UNROLL = 20
+STX_NOP_PAD = 9
+
+#: Register conventions inside EPI tests.
+SRC_REGS = (8, 9, 10, 11, 12, 13, 14, 15)
+DST_REGS = (16, 17, 18, 19, 20, 21, 22, 23)
+ADDR_REG = 4  # base address for memory tests
+LOOP_REG = 31  # nonzero -> loop forever
+
+#: Bytes reserved per tile for EPI memory tests (keeps tiles private).
+TILE_SPAN = 1 << 20
+
+
+@dataclass(frozen=True)
+class EpiTest:
+    """One runnable EPI measurement."""
+
+    name: str
+    target_opcode: str
+    policy: OperandPolicy
+    latency_cycles: int  # Table VI L for the EPI equation
+    targets_per_iteration: int
+    fillers_per_target: int  # nops padded after each target
+
+
+def _loop(body: list[Instruction]) -> Program:
+    """Wrap ``body`` in the infinite measurement loop."""
+    instrs = list(body)
+    instrs.append(Instruction("bne", rs1=LOOP_REG, target=0))
+    return flat_program(instrs)
+
+
+def _int_operands(
+    policy: OperandPolicy, rng: np.random.Generator
+) -> dict[int, int]:
+    values = {}
+    for reg in SRC_REGS:
+        values[reg] = int(operand_value(policy, rng, fp=False))
+    if policy is OperandPolicy.MINIMUM:
+        # Divides/branches still need the loop register nonzero.
+        values = {reg: 0 for reg in SRC_REGS}
+    return values
+
+
+def _fp_operands(
+    policy: OperandPolicy, rng: np.random.Generator
+) -> dict[int, float]:
+    return {
+        reg: float(operand_value(policy, rng, fp=True)) for reg in SRC_REGS
+    }
+
+
+def build_epi_workload(
+    target: str,
+    policy: OperandPolicy,
+    tile: int,
+    seed: int = 0,
+    store_buffer_safe: bool = True,
+) -> tuple[EpiTest, TileProgram]:
+    """Build the EPI test for ``target`` under ``policy`` on ``tile``.
+
+    Returns the test metadata and the tile workload (program + planted
+    register/memory operand values). Memory tests place each tile's
+    working set in a private address span so 25 concurrent copies never
+    share lines ("each of the 25 cores store to different L2 cache
+    lines ... to avoid invoking cache coherence").
+    """
+    rng = np.random.default_rng(seed + 1000 * tile)
+    info = opcode(target)
+    base_addr = 0x100000 + tile * TILE_SPAN
+
+    init_regs: dict[int, int] = {LOOP_REG: 1, ADDR_REG: base_addr}
+    init_fregs: dict[int, float] = {}
+    memory_image: dict[int, int] = {}
+    fillers = 0
+
+    body: list[Instruction] = []
+    if target == "nop":
+        body = [Instruction("nop") for _ in range(UNROLL)]
+    elif info.is_load:
+        init_regs.update(_int_operands(OperandPolicy.RANDOM, rng))
+        for i in range(UNROLL):
+            addr = base_addr + 16 * i  # 20 distinct L1 lines, all hits
+            memory_image[addr] = int(operand_value(policy, rng, fp=False))
+            body.append(
+                Instruction(
+                    "ldx", rd=DST_REGS[i % len(DST_REGS)],
+                    rs1=ADDR_REG, imm=16 * i,
+                )
+            )
+    elif info.is_store:
+        fillers = STX_NOP_PAD if store_buffer_safe else 0
+        value_reg = SRC_REGS[0]
+        init_regs[value_reg] = int(operand_value(policy, rng, fp=False))
+        for i in range(UNROLL):
+            # 20 distinct L2 lines (64B apart), L1.5-resident after
+            # warm-up, private to this tile.
+            body.append(
+                Instruction("stx", rs1=value_reg, rs2=ADDR_REG, imm=64 * i)
+            )
+            body.extend(Instruction("nop") for _ in range(fillers))
+    elif info.is_branch:
+        if target == "beq":
+            # Taken: %r0 == 0, each branch jumps to the next target.
+            for i in range(UNROLL):
+                body.append(Instruction("beq", rs1=0, target=i + 1))
+        else:
+            # Not taken: compare the planted nonzero register.
+            init_regs[SRC_REGS[0]] = 1
+            for i in range(UNROLL):
+                body.append(
+                    Instruction("bne", rs1=0, target=i + 1)
+                )
+    elif info.is_fp:
+        init_fregs.update(_fp_operands(policy, rng))
+        for i in range(UNROLL):
+            body.append(
+                Instruction(
+                    target,
+                    rd=DST_REGS[i % len(DST_REGS)],
+                    rs1=SRC_REGS[i % len(SRC_REGS)],
+                    rs2=SRC_REGS[(i + 1) % len(SRC_REGS)],
+                )
+            )
+    else:
+        operands = _int_operands(policy, rng)
+        if target == "sdivx" and policy is not OperandPolicy.MINIMUM:
+            # Keep divisors nonzero so latency stays the Table VI value.
+            for reg in SRC_REGS[1::2]:
+                operands[reg] = operands[reg] | 1
+        init_regs.update(operands)
+        for i in range(UNROLL):
+            body.append(
+                Instruction(
+                    target,
+                    rd=DST_REGS[i % len(DST_REGS)],
+                    rs1=SRC_REGS[i % len(SRC_REGS)],
+                    rs2=SRC_REGS[(i + 1) % len(SRC_REGS)],
+                )
+            )
+
+    program = _loop(body)
+    test = EpiTest(
+        name=f"{target}:{policy.value}",
+        target_opcode=target,
+        policy=policy,
+        latency_cycles=info.latency,
+        targets_per_iteration=UNROLL,
+        fillers_per_target=fillers,
+    )
+    return test, TileProgram(
+        programs=[program],
+        init_regs=init_regs,
+        init_fregs=init_fregs,
+        memory_image=memory_image,
+    )
+
+
+#: Figure 11's instruction set, in presentation order, with the label
+#: the paper uses for each bar group.
+FIGURE11_INSTRUCTIONS: tuple[tuple[str, str], ...] = (
+    ("nop", "nop"),
+    ("and", "and"),
+    ("add", "add"),
+    ("mulx", "mulx"),
+    ("sdivx", "sdivx"),
+    ("faddd", "faddd"),
+    ("fmuld", "fmuld"),
+    ("fdivd", "fdivd"),
+    ("fadds", "fadds"),
+    ("fmuls", "fmuls"),
+    ("fdivs", "fdivs"),
+    ("ldx", "ldx"),
+    ("stx_f", "stx (F)"),
+    ("stx_nf", "stx (NF)"),
+    ("beq", "beq (T)"),
+    ("bne", "bne (NT)"),
+)
+
+
+def build_named_epi_workload(
+    name: str, policy: OperandPolicy, tile: int, seed: int = 0
+) -> tuple[EpiTest, TileProgram]:
+    """Resolve Figure 11 bar names (incl. the stx variants)."""
+    if name == "stx_f":
+        test, tp = build_epi_workload(
+            "stx", policy, tile, seed, store_buffer_safe=False
+        )
+        return (
+            EpiTest(
+                name=f"stx(F):{policy.value}",
+                target_opcode="stx",
+                policy=policy,
+                latency_cycles=test.latency_cycles,
+                targets_per_iteration=test.targets_per_iteration,
+                fillers_per_target=0,
+            ),
+            tp,
+        )
+    if name == "stx_nf":
+        return build_epi_workload(
+            "stx", policy, tile, seed, store_buffer_safe=True
+        )
+    return build_epi_workload(name, policy, tile, seed)
+
+
+def has_operand_sweep(name: str) -> bool:
+    """Whether min/random/max operand values are meaningful for a bar
+    (nop and branches have no input operands)."""
+    return name not in ("nop", "beq", "bne")

@@ -1,0 +1,139 @@
+"""Section IV-F memory-system energy tests (Table VII).
+
+Each scenario is an unrolled infinite loop of 20 ``ldx`` whose
+addresses are constructed to steer every load at one level of the
+hierarchy:
+
+* **L1 hit** — 20 distinct resident lines;
+* **L1 miss / L2 hit** — 20 addresses aliasing the *same L1 (and
+  L1.5) set* (4-way, so every access conflicts out) while landing in
+  distinct sets of the chosen home L2 slice (so the L2 always hits);
+* **local vs remote** — the home slice is steered by address choice
+  under the software-configurable line-to-slice interleaving, exactly
+  the paper's method: the local slice, a slice 4 straight-line hops
+  away, or 8 hops (with a turn) away;
+* **L2 miss** — 20 addresses aliasing the *same L2 set* of the local
+  slice, so every load goes to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.floorplan import Floorplan
+from repro.arch.params import PitonConfig
+from repro.cache.addressing import AddressMap
+from repro.isa.program import Instruction, flat_program
+from repro.workloads.base import TileProgram
+from repro.workloads.epi_tests import ADDR_REG, DST_REGS, LOOP_REG, UNROLL
+
+#: Table VII scenarios in presentation order.
+SCENARIOS = (
+    "l1_hit",
+    "l2_hit_local",
+    "l2_hit_remote_4",
+    "l2_hit_remote_8",
+    "l2_miss_local",
+)
+
+
+@dataclass(frozen=True)
+class MemTest:
+    """One Table VII scenario's workload for one tile."""
+
+    scenario: str
+    tile: int
+    home_tile: int
+    hops: int
+    addresses: tuple[int, ...]
+    tile_program: TileProgram
+
+
+def _load_loop(addresses: list[int]) -> tuple[TileProgram, int]:
+    """An unrolled ldx loop over ``addresses`` (base + offsets)."""
+    base = min(addresses)
+    body = [
+        Instruction(
+            "ldx",
+            rd=DST_REGS[i % len(DST_REGS)],
+            rs1=ADDR_REG,
+            imm=addr - base,
+        )
+        for i, addr in enumerate(addresses)
+    ]
+    body.append(Instruction("bne", rs1=LOOP_REG, target=0))
+    program = flat_program(body)
+    return (
+        TileProgram(
+            programs=[program],
+            init_regs={ADDR_REG: base, LOOP_REG: 1},
+            memory_image={addr: (addr * 0x9E3779B9) & ((1 << 64) - 1)
+                          for addr in addresses},
+        ),
+        base,
+    )
+
+
+def build_memtest(
+    scenario: str,
+    tile: int,
+    config: PitonConfig | None = None,
+    address_map: AddressMap | None = None,
+    seed: int = 0,
+) -> MemTest:
+    """Construct the Table VII scenario for ``tile``."""
+    config = config or PitonConfig()
+    amap = address_map or AddressMap(config)
+    floorplan = Floorplan(config)
+    rng = np.random.default_rng(seed + tile)
+    del rng  # address construction is deterministic
+
+    if scenario == "l1_hit":
+        # 20 lines in distinct L1 sets, homed anywhere (never leaves L1
+        # after warm-up). Keep spans private per tile.
+        base = 0x400000 + tile * (1 << 20)
+        addresses = [base + 16 * i for i in range(UNROLL)]
+        home = amap.home_tile(addresses[0])
+        hops = 0
+    elif scenario.startswith("l2_hit"):
+        if scenario == "l2_hit_local":
+            home, hops = tile, 0
+        elif scenario == "l2_hit_remote_4":
+            home, hops = floorplan.tile_at_hops(tile, 4), 4
+        elif scenario == "l2_hit_remote_8":
+            home, hops = floorplan.tile_at_hops(tile, 8), 8
+        else:
+            raise ValueError(f"unknown scenario {scenario!r}")
+        # Same L1/L1.5 set (forces misses above the L2), distinct L2
+        # sets (stays L2-resident), all homed at `home`. Vary the L1
+        # set per requesting tile so concurrent tiles stay disjoint.
+        set_index = (7 * tile + 3) % config.l1d.num_sets
+        addresses = [
+            amap.address_homed_at(
+                home, sequence=i, set_index=set_index, cache=config.l1d
+            )
+            for i in range(UNROLL)
+        ]
+    elif scenario == "l2_miss_local":
+        home, hops = tile, 0
+        set_index = (11 * tile + 5) % config.l2_slice.num_sets
+        addresses = [
+            amap.address_homed_at(
+                home, sequence=i, set_index=set_index, cache=config.l2_slice
+            )
+            for i in range(UNROLL)
+        ]
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+
+    tp, _base = _load_loop(addresses)
+    return MemTest(
+        scenario=scenario,
+        tile=tile,
+        home_tile=home,
+        hops=hops,
+        addresses=tuple(addresses),
+        tile_program=tp,
+    )

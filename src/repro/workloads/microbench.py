@@ -1,0 +1,261 @@
+"""The Section IV-H microbenchmarks: Int, HP, and Hist.
+
+* **Int** — a tight unrolled loop of integer instructions on
+  high-toggle operand patterns ("maximize switching activity"). Work
+  per thread is constant, so total work grows with thread count.
+* **HP (High Power)** — two distinct thread types: an integer-loop
+  thread, and a mixed thread executing loads, stores, and integer ops
+  at a 5:1 compute-to-memory ratio. The paper's thread-mapping rules
+  are reproduced by :func:`hp_thread_mapping`: with one thread per
+  core the two types alternate across cores; with two threads per core
+  each core runs one of each.
+* **Hist** — a parallel shared-memory histogram: each thread loads
+  elements from its slice of a shared input array, takes a global
+  CAS-based spin lock, and increments a shared bucket — so lock
+  contention and coherence misses grow with thread count while total
+  work stays constant (the paper's scaling contrast with Int/HP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import PitonConfig
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.base import TileProgram
+
+#: High-toggle operand patterns for Int/HP compute loops.
+PATTERN_A = 0x5555555555555555
+PATTERN_B = 0xAAAAAAAAAAAAAAAA
+
+#: Shared-memory layout for Hist.
+HIST_LOCK_ADDR = 0x0020_0000
+HIST_BUCKETS_ADDR = 0x0020_1000
+HIST_ARRAY_ADDR = 0x0030_0000
+HIST_BUCKET_COUNT = 16
+HIST_DEFAULT_ELEMENTS = 2048
+
+#: HP private working sets, one span per tile.
+HP_SPAN = 1 << 20
+HP_BASE = 0x0100_0000
+
+
+#: Integer ops per loop iteration. The paper's loops are unrolled far
+#: enough that the taken loop branch is a negligible share — which is
+#: what makes Int sustain one instruction per cycle in both T/C
+#: configurations (Section IV-H2).
+INT_UNROLL = 30
+
+
+def _int_body(unroll: int = INT_UNROLL) -> str:
+    """Logic/arithmetic ops cycling the two toggle patterns."""
+    ops = ("xor", "and", "or", "xor", "add")
+    lines = []
+    for i in range(unroll):
+        op = ops[i % len(ops)]
+        src = "%r8" if i % 2 == 0 else "%r9"
+        dst = 16 + (i % 10)
+        prev = 16 + ((i - 1) % 10) if i else 8
+        lines.append(f"    {op} %r{prev}, {src}, %r{dst}")
+    return "\n".join(lines) + "\n"
+
+
+def int_program(iterations: int | None = None) -> Program:
+    """The Int loop; infinite when ``iterations`` is None."""
+    body = _int_body()
+    if iterations is None:
+        return assemble(f"loop:\n{body}\n    bne %r31, loop\n")
+    return assemble(
+        f"""
+    set {iterations}, %r1
+loop:
+{body}
+    sub %r1, 1, %r1
+    bne %r1, loop
+"""
+    )
+
+
+def int_tile() -> TileProgram:
+    return TileProgram(
+        programs=[int_program()],
+        init_regs={8: PATTERN_A, 9: PATTERN_B, 31: 1},
+    )
+
+
+def hp_compute_program(iterations: int | None = None) -> Program:
+    """HP thread type A: the pure integer loop."""
+    return int_program(iterations)
+
+
+def hp_mixed_program(iterations: int | None = None) -> Program:
+    """HP thread type B: integer ops mixed with loads and stores that
+    always hit the L1/L1.5. The memory share is kept small enough that
+    a lone thread leaves few pipeline bubbles — the paper's
+    observation that HP "presents [few] instruction overlapping
+    opportunities ... because memory instructions hit in the L1 cache",
+    which is what pushes the MT/MC execution-time ratio toward two."""
+    chunks = [
+        _int_body(30),
+        "    ldx [%r4 + 0], %r26\n",
+        "    stx %r26, [%r4 + 64]\n",
+    ]
+    body = "".join(chunks)
+    if iterations is None:
+        return assemble(f"loop:\n{body}\n    bne %r31, loop\n")
+    return assemble(
+        f"""
+    set {iterations}, %r1
+loop:
+{body}
+    sub %r1, 1, %r1
+    bne %r1, loop
+"""
+    )
+
+
+def hp_thread_mapping(
+    core_ids: list[int], threads_per_core: int
+) -> dict[int, list[str]]:
+    """The paper's HP mapping: with 1 T/C the two thread types execute
+    on alternating cores; with 2 T/C each core runs one of each."""
+    mapping: dict[int, list[str]] = {}
+    for index, core in enumerate(core_ids):
+        if threads_per_core == 1:
+            mapping[core] = ["compute" if index % 2 == 0 else "mixed"]
+        else:
+            mapping[core] = ["compute", "mixed"]
+    return mapping
+
+
+def hp_tile(kinds: list[str], tile: int, iterations: int | None = None) -> TileProgram:
+    """Build one HP tile running the given thread kinds."""
+    programs = []
+    for kind in kinds:
+        if kind == "compute":
+            programs.append(hp_compute_program(iterations))
+        elif kind == "mixed":
+            programs.append(hp_mixed_program(iterations))
+        else:
+            raise ValueError(f"unknown HP thread kind {kind!r}")
+    base = HP_BASE + tile * HP_SPAN
+    return TileProgram(
+        programs=programs,
+        init_regs={8: PATTERN_A, 9: PATTERN_B, 31: 1, 4: base},
+        memory_image={base: 0x0123456789ABCDEF},
+    )
+
+
+# --------------------------------------------------------------------- Hist
+def hist_program(
+    start_addr: int,
+    element_count: int,
+    repeat_forever: bool = True,
+    iterations: int = 1,
+) -> Program:
+    """One Hist thread: histogram ``element_count`` elements starting at
+    ``start_addr`` into the shared buckets under the global lock.
+
+    Register use: r1 element ptr, r2 end addr, r4 lock addr, r5 buckets
+    base, r6..r11 scratch, r30 outer-loop counter.
+    """
+    outer = "bne %r31, outer" if repeat_forever else (
+        "sub %r30, 1, %r30\n    bne %r30, outer"
+    )
+    prologue = "" if repeat_forever else f"    set {iterations}, %r30\n"
+    return assemble(
+        f"""
+{prologue}outer:
+    set {start_addr}, %r1
+    set {start_addr + 8 * element_count}, %r2
+element:
+    ldx [%r1 + 0], %r6
+    and %r6, {HIST_BUCKET_COUNT - 1}, %r7
+spin:
+    set 1, %r8
+    cas [%r4], %r9, %r8
+    bne %r8, spin
+    sll %r7, 3, %r10
+    add %r10, %r5, %r10
+    ldx [%r10 + 0], %r11
+    add %r11, 1, %r11
+    stx %r11, [%r10 + 0]
+    stx %r9, [%r4 + 0]
+    add %r1, 8, %r1
+    sub %r2, %r1, %r6
+    bne %r6, element
+    {outer}
+"""
+    )
+
+
+@dataclass(frozen=True)
+class HistWorkload:
+    """A complete Hist run: per-tile programs + the shared data image."""
+
+    tiles: dict[int, TileProgram]
+    total_elements: int
+    elements_per_thread: int
+
+
+def hist_workload(
+    core_ids: list[int],
+    threads_per_core: int,
+    total_elements: int = HIST_DEFAULT_ELEMENTS,
+    repeat_forever: bool = True,
+    iterations: int = 1,
+    config: PitonConfig | None = None,
+) -> HistWorkload:
+    """Split a fixed-size histogram across threads (constant total
+    work: more threads means less work per thread, the paper's Hist
+    scaling rule)."""
+    del config
+    thread_count = len(core_ids) * threads_per_core
+    if thread_count == 0:
+        raise ValueError("need at least one thread")
+    per_thread = max(1, total_elements // thread_count)
+
+    image = {
+        HIST_ARRAY_ADDR + 8 * i: (i * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        for i in range(total_elements)
+    }
+    image[HIST_LOCK_ADDR] = 0
+    for b in range(HIST_BUCKET_COUNT):
+        image[HIST_BUCKETS_ADDR + 8 * b] = 0
+
+    tiles: dict[int, TileProgram] = {}
+    thread_index = 0
+    for core in core_ids:
+        programs = []
+        for _ in range(threads_per_core):
+            start = HIST_ARRAY_ADDR + 8 * per_thread * thread_index
+            programs.append(
+                hist_program(
+                    start, per_thread, repeat_forever, iterations
+                )
+            )
+            thread_index += 1
+        tiles[core] = TileProgram(
+            programs=programs,
+            init_regs={
+                4: HIST_LOCK_ADDR,
+                5: HIST_BUCKETS_ADDR,
+                9: 0,
+                31: 1,
+            },
+            memory_image=image if core == core_ids[0] else {},
+        )
+    return HistWorkload(
+        tiles=tiles,
+        total_elements=per_thread * thread_count,
+        elements_per_thread=per_thread,
+    )
+
+
+def microbench_core_ids(count: int, config: PitonConfig | None = None) -> list[int]:
+    """The first ``count`` tiles (the paper activates cores in order)."""
+    config = config or PitonConfig()
+    if not 1 <= count <= config.tile_count:
+        raise ValueError(f"core count must be in 1..{config.tile_count}")
+    return list(range(count))

@@ -1,0 +1,122 @@
+"""Section IV-G NoC energy tests (Figure 12).
+
+The chipset is modified to stream dummy invalidation packets (one
+routing header + six payload flits) into the chip through tile 0,
+destined for tiles at increasing hop counts. The chip bridge's
+bandwidth mismatch admits 7 valid flits every 47 core cycles, which
+the EPF methodology divides back out. Four payload patterns sweep the
+link activity factor:
+
+* NSW  — all-zero payloads (router overhead only),
+* HSW  — alternate 0x3333...3333 / zeros (half the bits toggle),
+* FSW  — alternate all-ones / zeros (every bit toggles),
+* FSWA — alternate 0xAAAA... / 0x5555... (every bit toggles *and*
+  every adjacent pair toggles opposite ways: worst-case coupling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.floorplan import Floorplan
+from repro.arch.params import PitonConfig
+from repro.noc.flit import make_invalidation_packet
+from repro.noc.mesh import MeshNetwork
+from repro.util.events import EventLedger
+
+PATTERNS = ("NSW", "HSW", "FSW", "FSWA")
+
+_ONES = (1 << 64) - 1
+_PATTERN_PAIRS = {
+    "NSW": (0x0, 0x0),
+    "HSW": (0x3333333333333333, 0x0),
+    "FSW": (_ONES, 0x0),
+    "FSWA": (0xAAAAAAAAAAAAAAAA, 0x5555555555555555),
+}
+
+#: The paper's verified traffic pattern (see ChipBridge).
+PATTERN_FLITS = 7
+PATTERN_CYCLES = 47
+
+#: The invalidation packets enter the mesh on NoC2 (the network that
+#: carries L2->L1.5 invalidations).
+INVALIDATION_NOC = 2
+
+
+def payload_words(pattern: str, packet_index: int) -> list[int]:
+    """Six payload words for the ``packet_index``-th packet.
+
+    Consecutive *flits* alternate between the pattern's two words, and
+    the alternation phase continues across packets so every payload
+    flit transition exercises the pattern.
+    """
+    try:
+        a, b = _PATTERN_PAIRS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; expected one of {PATTERNS}"
+        ) from None
+    start = packet_index * 6
+    return [a if (start + i) % 2 == 0 else b for i in range(6)]
+
+
+@dataclass
+class NocRun:
+    """Result of one hop-count x pattern streaming run."""
+
+    pattern: str
+    hops: int
+    dest_tile: int
+    cycles: int
+    packets_injected: int
+    flits_injected: int
+    packets_delivered: int
+    ledger: EventLedger
+    mean_packet_latency: float
+
+
+def run_noc_stream(
+    pattern: str,
+    hops: int,
+    packets: int = 60,
+    config: PitonConfig | None = None,
+    source_tile: int = 0,
+) -> NocRun:
+    """Stream ``packets`` dummy packets at a tile ``hops`` away.
+
+    Injection is paced at one 7-flit packet per 47-cycle repeat of the
+    chip-bridge pattern; the run continues until the network drains.
+    """
+    config = config or PitonConfig()
+    floorplan = Floorplan(config)
+    dest = floorplan.tile_at_hops(source_tile, hops)
+    ledger = EventLedger()
+    mesh = MeshNetwork(config, ledger, network_id=INVALIDATION_NOC)
+
+    injected_flits = 0
+    for k in range(packets):
+        # Pace injection on the bridge pattern.
+        while mesh.now < k * PATTERN_CYCLES:
+            mesh.step()
+        packet = make_invalidation_packet(dest, payload_words(pattern, k))
+        mesh.inject(packet, source_tile)
+        injected_flits += len(packet)
+    mesh.drain()
+
+    latencies = [
+        p.latency for p in mesh.delivered if p.latency is not None
+    ]
+    mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+    # The measurement window is the full repeating-pattern span.
+    cycles = max(mesh.now, packets * PATTERN_CYCLES)
+    return NocRun(
+        pattern=pattern,
+        hops=hops,
+        dest_tile=dest,
+        cycles=cycles,
+        packets_injected=packets,
+        flits_injected=injected_flits,
+        packets_delivered=len(mesh.delivered),
+        ledger=ledger,
+        mean_packet_latency=mean_latency,
+    )

@@ -1,0 +1,110 @@
+"""The Section IV-J two-phase scheduling test application.
+
+A test app with a compute-heavy phase (arithmetic loop) and an idle
+phase (``nop`` loop), run on all fifty threads under two schedules:
+
+* **synchronized** — every thread is in the same phase at once, so
+  chip power square-waves between a high and a low level;
+* **interleaved** — 26 threads run one phase while 24 run the other,
+  halving the swing and (through the thermal low-pass) lowering the
+  average temperature.
+
+Because the phases last seconds (thermal time scales), the experiment
+drives the power-temperature feedback simulator with per-phase power
+levels derived from short cycle-accurate simulations of the two loops,
+rather than simulating minutes of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.base import TileProgram
+from repro.workloads.microbench import PATTERN_A, PATTERN_B
+
+
+def compute_phase_program() -> Program:
+    """The arithmetic loop of the compute phase."""
+    return assemble(
+        """
+loop:
+    xor %r8, %r9, %r16
+    add %r16, %r9, %r17
+    xor %r17, %r8, %r18
+    add %r18, %r9, %r19
+    xor %r19, %r8, %r20
+    add %r20, %r9, %r21
+    bne %r31, loop
+"""
+    )
+
+
+def idle_phase_program() -> Program:
+    """The nop loop of the idle phase."""
+    return assemble(
+        """
+loop:
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    bne %r31, loop
+"""
+    )
+
+
+def phase_tile(kind: str, threads: int = 2) -> TileProgram:
+    """A tile running ``threads`` copies of one phase loop."""
+    if kind == "compute":
+        program = compute_phase_program()
+    elif kind == "idle":
+        program = idle_phase_program()
+    else:
+        raise ValueError(f"unknown phase kind {kind!r}")
+    return TileProgram(
+        programs=[program] * threads,
+        init_regs={8: PATTERN_A, 9: PATTERN_B, 31: 1},
+    )
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """How the two-phase app is scheduled across the 50 threads."""
+
+    name: str
+    period_s: float  # one full compute+idle cycle
+    #: (compute_threads, idle_threads) during the first half-period;
+    #: they swap for the second half.
+    first_half: tuple[int, int]
+    second_half: tuple[int, int]
+
+    def compute_threads_at(self, time_s: float) -> int:
+        phase = (time_s % self.period_s) / self.period_s
+        half = self.first_half if phase < 0.5 else self.second_half
+        return half[0]
+
+
+def synchronized_schedule(period_s: float = 40.0) -> PhaseSchedule:
+    """All 50 threads alternate between phases together."""
+    return PhaseSchedule(
+        name="synchronized",
+        period_s=period_s,
+        first_half=(50, 0),
+        second_half=(0, 50),
+    )
+
+
+def interleaved_schedule(period_s: float = 40.0) -> PhaseSchedule:
+    """26 threads in one phase while 24 run the opposite one."""
+    return PhaseSchedule(
+        name="interleaved",
+        period_s=period_s,
+        first_half=(26, 24),
+        second_half=(24, 26),
+    )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.params import PitonConfig
+from repro.system import PitonSystem
+from repro.util.events import EventLedger
+
+
+@pytest.fixture
+def config() -> PitonConfig:
+    return PitonConfig()
+
+
+@pytest.fixture
+def small_config() -> PitonConfig:
+    """A 3x3 mesh: cheap enough for exhaustive protocol tests."""
+    return PitonConfig(mesh_width=3, mesh_height=3)
+
+
+@pytest.fixture
+def ledger() -> EventLedger:
+    return EventLedger()
+
+
+@pytest.fixture(scope="session")
+def shared_system() -> PitonSystem:
+    """One default system for read-only measurement tests."""
+    return PitonSystem.default(seed=42)

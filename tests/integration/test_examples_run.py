@@ -1,0 +1,49 @@
+"""Every shipped example must run clean end to end.
+
+Runs each example as a subprocess (the way a user would) and checks
+exit status plus a fingerprint line of its expected output — guarding
+the documentation surface against rot.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> (argv, substring the output must contain)
+CASES = {
+    "quickstart.py": ([], "static power"),
+    "characterize_instruction.py": (["and", "2"], "EPI characterization"),
+    "mesh_design_space.py": ([], "5x5"),
+    "thermal_scheduling.py": ([], "stagger"),
+    "multitenant_cloud.py": ([], "CDR trap"),
+    "noc_traffic_study.py": ([], "hottest link"),
+    "fit_your_chip.py": ([], "bench check"),
+    "run_experiment.py": (["fig8", "--quick"], "Area breakdown"),
+}
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    argv, fingerprint = CASES[script]
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert fingerprint in result.stdout
+
+
+def test_example_listing_is_complete():
+    """No stray example scripts missing from this smoke matrix."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CASES)

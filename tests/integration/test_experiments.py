@@ -1,0 +1,183 @@
+"""Integration tests: every experiment module runs (quick mode) and
+reproduces the paper's *shape* claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_every_experiment_runs_and_renders(experiment_id):
+    if experiment_id in ("fig11", "fig13", "fig14", "table7"):
+        pytest.skip("covered by dedicated shape tests (slow)")
+    result = get_experiment(experiment_id)(quick=True)
+    assert result.rows
+    text = result.render()
+    assert experiment_id in text
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+class TestTable4Shape:
+    def test_buckets_sum(self):
+        result = get_experiment("table4")(quick=True)
+        counts = [row[3] for row in result.rows]
+        assert sum(counts) == 32
+        # Good chips are the majority, as in the paper.
+        assert counts[0] > 16
+
+
+class TestFig8Shape:
+    def test_core_dominates_tile(self):
+        result = get_experiment("fig8")(quick=True)
+        rows = {(r[0], r[1]): r[2] for r in result.rows}
+        assert rows[("tile", "core")] == 47.00
+        assert rows[("tile", "l2_cache")] == 22.16
+        # NoC routers are a small fraction: the area context for the
+        # paper's "NoC energy is small" claim.
+        noc_total = sum(
+            rows[("tile", f"noc{i}_router")] for i in (1, 2, 3)
+        )
+        assert noc_total < 3.0
+
+
+class TestFig9Shape:
+    def test_curves(self):
+        result = get_experiment("fig9")(quick=False)
+        chip1 = result.series["chip1"]
+        chip2 = result.series["chip2"]
+        vdds = [row[0] for row in result.rows]
+        # Chip 1 fastest at the low end.
+        low = vdds.index(0.85)
+        assert chip1[low] > chip2[low]
+        # Chip 1 droops at 1.2V below its 1.15V point.
+        high = vdds.index(1.20)
+        prev = vdds.index(1.15)
+        assert chip1[high] < chip1[prev]
+        # Monotonic rise for chip 2 until at least 1.15V.
+        assert chip2[: prev + 1] == sorted(chip2[: prev + 1])
+
+    def test_min_curve_tracks_paper_band(self):
+        result = get_experiment("fig9")(quick=False)
+        for row in result.rows:
+            vdd, minimum, paper = row[0], row[4], row[5]
+            assert minimum == pytest.approx(paper, rel=0.15), vdd
+
+
+class TestFig10Shape:
+    def test_monotonic_and_split(self):
+        result = get_experiment("fig10")(quick=True)
+        idle = result.series["idle_total_mw"]
+        static = result.series["static_total_mw"]
+        assert idle == sorted(idle)
+        assert static == sorted(static)
+        # SRAM dynamic is a thin sliver of idle power.
+        sram_dyn = result.series["sram_dynamic_mw"]
+        core_dyn = result.series["core_dynamic_mw"]
+        assert all(s < 0.15 * c for s, c in zip(sram_dyn, core_dyn))
+
+    def test_table5_anchors(self):
+        result = get_experiment("fig10")(quick=True)
+        assert result.series["table5_static_mw"][0] == pytest.approx(
+            389.3, rel=0.02
+        )
+        assert result.series["table5_idle_mw"][0] == pytest.approx(
+            2015.3, rel=0.02
+        )
+
+
+class TestFig15Shape:
+    def test_total_and_simulation_agree(self):
+        result = get_experiment("fig15")(quick=True)
+        total = result.series["total_cycles"][0]
+        simulated = result.series["simulated_cycles"][0]
+        assert total == 395
+        assert simulated == pytest.approx(total, rel=0.15)
+
+    def test_gateway_dominates_offchip(self):
+        """The paper's point: FPGA buffering, not DRAM, eats the trip."""
+        result = get_experiment("fig15")(quick=True)
+        by_component: dict[str, int] = {}
+        for row in result.rows:
+            if row[0] == "TOTAL":
+                continue
+            by_component[row[0]] = by_component.get(row[0], 0) + row[3]
+        assert by_component["gateway FPGA"] > 90
+
+
+class TestFig16Shape:
+    def test_rail_ranges(self):
+        result = get_experiment("fig16")(quick=True)
+        rows = {r[0]: r for r in result.rows}
+        vdd_mean = rows["Core (VDD)"][1]
+        vcs_mean = rows["SRAM (VCS)"][1]
+        assert 1700 < vdd_mean < 1850
+        assert 250 < vcs_mean < 300
+        # I/O bursts visible: max well above mean.
+        io = rows["I/O (VIO)"]
+        assert io[3] > 3 * io[1]
+
+
+class TestFig17Shape:
+    def test_exponential_and_ordered(self):
+        result = get_experiment("fig17")(quick=True)
+        # Power rises with temperature within each thread count.
+        for threads in (0, 20, 40):
+            powers = result.series[f"{threads}_threads_power_mw"]
+            assert powers == sorted(powers)
+        # And rises with thread count at fixed cooling.
+        p0 = result.series["0_threads_power_mw"][0]
+        p40 = result.series["40_threads_power_mw"][0]
+        assert p40 > p0 + 50
+
+
+class TestFig18Shape:
+    def test_interleaved_cooler_smaller_swing(self):
+        result = get_experiment("fig18")(quick=True)
+        rows = {r[0]: r for r in result.rows}
+        sync, inter = rows["synchronized"], rows["interleaved"]
+        assert inter[3] < sync[3]  # cooler on average
+        assert inter[2] < 0.3 * sync[2]  # much smaller power swing
+        assert inter[4] <= sync[4]  # smaller hysteresis loop
+
+
+class TestTable8Shape:
+    def test_derived_latencies(self):
+        result = get_experiment("table8")(quick=True)
+        assert result.series["piton_memory_latency_ns"][0] == (
+            pytest.approx(848, rel=0.02)
+        )
+        local, remote = result.series["piton_l2_latency_ns"]
+        assert local == pytest.approx(68, rel=0.05)
+        assert remote == pytest.approx(104, rel=0.08)
+
+
+class TestTable9Shape:
+    def test_times_and_power(self):
+        result = get_experiment("table9")(quick=True)
+        by_name = result.row_dict()
+        for name, ref in result.paper_reference.items():
+            row = by_name[name]
+            assert row[2] == pytest.approx(ref["piton_min"], rel=0.02)
+            assert row[3] == pytest.approx(ref["slowdown"], rel=0.02)
+            assert row[4] == pytest.approx(ref["power_w"], rel=0.03)
+            # 8%: Table IX's own perlbench-diffmail row is internally
+            # inconsistent (2.141 W x 184.37 min = 23.68 kJ, printed
+            # 22.32 kJ); we reproduce power x time exactly.
+            assert row[5] == pytest.approx(ref["energy_kj"], rel=0.08)
+
+    def test_hmmer_highest_power(self):
+        result = get_experiment("table9")(quick=True)
+        powers = {row[0]: row[4] for row in result.rows}
+        assert max(powers, key=powers.get) == "hmmer-nph3"
+
+
+class TestTable10Shape:
+    def test_piton_unique(self):
+        result = get_experiment("table10")(quick=True)
+        assert result.series["open_and_characterized_count"] == [1.0]

@@ -1,0 +1,172 @@
+"""Integration tests: the full PitonSystem pipeline end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.silicon.variation import CHIP1
+from repro.system import PitonSystem
+from repro.workloads.base import TileProgram
+from repro.workloads.microbench import (
+    HIST_BUCKETS_ADDR,
+    HIST_BUCKET_COUNT,
+    hist_workload,
+    int_tile,
+)
+
+
+class TestRunWorkload:
+    def test_measurement_above_idle(self, shared_system):
+        run = shared_system.run_workload(
+            {0: int_tile()}, warmup_cycles=500, window_cycles=2_000
+        )
+        idle = shared_system.measure_idle()
+        assert run.measurement.core.value > idle.core.value
+
+    def test_power_scales_with_cores(self, shared_system):
+        one = shared_system.run_workload(
+            {0: int_tile()}, warmup_cycles=500, window_cycles=2_000
+        )
+        five = shared_system.run_workload(
+            {t: int_tile() for t in range(5)},
+            warmup_cycles=500,
+            window_cycles=2_000,
+        )
+        assert five.measurement.core.value > one.measurement.core.value
+
+    def test_ledger_only_covers_window(self, shared_system):
+        run = shared_system.run_workload(
+            {0: int_tile()}, warmup_cycles=1_000, window_cycles=1_000
+        )
+        # ~1 instruction per cycle: the ledger must reflect the window,
+        # not warmup + window.
+        issued = run.ledger.count("core.active_cycle")
+        assert issued <= 1_100
+
+    def test_all_events_priced(self, shared_system):
+        run = shared_system.run_workload(
+            {0: int_tile()}, warmup_cycles=200, window_cycles=1_000
+        )
+        from repro.power.chip_power import ChipPowerModel
+
+        assert ChipPowerModel().unknown_events(run.ledger) == []
+
+    def test_run_to_completion_counts(self, shared_system):
+        program = assemble(
+            "set 50, %r1\nloop:\n sub %r1, 1, %r1\n bne %r1, loop"
+        )
+        run = shared_system.run_to_completion({3: [program]})
+        assert run.result.completed
+        assert run.result.instructions == 1 + 2 * 50
+
+    def test_persona_changes_power(self):
+        leaky = PitonSystem.default(persona=CHIP1, seed=2)
+        normal = PitonSystem.default(seed=2)
+        assert (
+            leaky.measure_idle().core.value
+            > normal.measure_idle().core.value
+        )
+
+    def test_operating_point_changes_power(self):
+        system = PitonSystem.default(seed=3)
+        nominal = system.measure_idle().core.value
+        system.set_operating_point(0.85, 0.90, 300e6)
+        lowered = system.measure_idle().core.value
+        assert lowered < 0.7 * nominal
+
+
+class TestHistCoherenceEndToEnd:
+    def test_histogram_correct_under_contention(self, shared_system):
+        """25 threads hammering one lock still produce an exact
+        histogram — the strongest end-to-end coherence check."""
+        workload = hist_workload(
+            list(range(7)), 2, total_elements=126,
+            repeat_forever=False,
+        )
+        run = shared_system.run_to_completion(
+            workload.tiles, max_cycles=10_000_000
+        )
+        total = sum(
+            run.engine.memory.read(HIST_BUCKETS_ADDR + 8 * b)
+            for b in range(HIST_BUCKET_COUNT)
+        )
+        assert total == workload.total_elements
+        run.engine.memsys.check_invariants()
+
+    def test_more_threads_more_contention(self, shared_system):
+        def rollbacks(cores: int) -> float:
+            workload = hist_workload(
+                list(range(cores)), 2, total_elements=96,
+                repeat_forever=False,
+            )
+            run = shared_system.run_to_completion(
+                workload.tiles, max_cycles=10_000_000
+            )
+            spins = run.ledger.count("instr.store")  # cas class
+            return spins / 96.0
+
+        assert rollbacks(8) > rollbacks(1)
+
+
+class TestExecutionDrafting:
+    def test_drafting_reduces_energy(self):
+        """Two threads of the same program drafting together consume
+        less instruction energy than undrafted."""
+        system = PitonSystem.default(seed=4)
+        program = assemble(
+            "loop:\n add %r1, %r2, %r3\n add %r3, %r2, %r4\n"
+            " bne %r31, loop"
+        )
+        tile = TileProgram(
+            programs=[program, program], init_regs={31: 1, 1: 5, 2: 7}
+        )
+        undrafted = system.run_workload(
+            {0: tile}, warmup_cycles=200, window_cycles=2_000
+        )
+        drafted = system.run_workload(
+            {0: tile},
+            warmup_cycles=200,
+            window_cycles=2_000,
+            execution_drafting=True,
+        )
+        assert (
+            drafted.ledger.count("instr.int_add")
+            < undrafted.ledger.count("instr.int_add")
+        )
+
+    def test_drafting_requires_synchronized_pcs(self):
+        system = PitonSystem.default(seed=4)
+        a = assemble("loop:\n add %r1, %r2, %r3\n bne %r31, loop")
+        b = assemble("loop:\n nop\n nop\n nop\n bne %r31, loop")
+        tile = TileProgram(programs=[a, b], init_regs={31: 1})
+        run = system.run_workload(
+            {0: tile},
+            warmup_cycles=100,
+            window_cycles=500,
+            execution_drafting=True,
+        )
+        # Different programs never draft: full event counts.
+        adds = run.ledger.count("instr.int_add")
+        assert adds == int(adds)
+
+
+class TestMeshConsistency:
+    def test_transaction_timing_matches_flit_sim(self, shared_system):
+        """The analytic hop/turn timing the cache system uses must
+        agree with the flit-level mesh on route shape."""
+        from repro.arch.floorplan import Floorplan
+        from repro.noc.flit import Packet
+        from repro.noc.mesh import MeshNetwork
+
+        fp = Floorplan(shared_system.config)
+        for dst in (1, 4, 6, 24):
+            mesh = MeshNetwork(shared_system.config)
+            packet = Packet.build(dst, [1, 2])
+            mesh.inject(packet, 0)
+            mesh.drain()
+            hops = fp.hops(0, dst)
+            turn = 1 if fp.has_turn(0, dst) else 0
+            # Flit latency = hops + turn + constant inject/eject cost.
+            overhead = packet.latency - (hops + turn)
+            assert 1 <= overhead <= 4

@@ -1,0 +1,171 @@
+"""Integration tests across the tooling layer: synthetic workloads
+through the power report, tracing under the full system, the CDR +
+MITTS multi-tenant composition, and window-ledger correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cdr import CdrRegistry
+from repro.core.trace import TraceRecorder
+from repro.noc.mitts import MittsBin, MittsShaper
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+from repro.power.report import PowerReport
+from repro.system import PitonSystem
+from repro.util.events import EventLedger
+from repro.workloads.memtests import build_memtest
+from repro.workloads.microbench import hist_workload
+from repro.workloads.synthetic import WorkloadSpec, generate
+
+
+class TestSyntheticThroughPowerReport:
+    def test_mix_shows_up_in_block_attribution(self, shared_system):
+        loady = generate(
+            WorkloadSpec(load_frac=0.4, footprint_bytes=64 * 1024,
+                         seed=2)
+        )
+        run = shared_system.run_workload(
+            {0: loady.tile_program},
+            warmup_cycles=30_000,
+            window_cycles=8_000,
+        )
+        report = PowerReport(shared_system.persona, shared_system.calib)
+        blocks = {
+            b.block: b.active_w
+            for b in report.active_breakdown(
+                run.ledger, run.window_cycles, OperatingPoint()
+            )
+        }
+        # A 64KB footprint streams through the L1.5/L2: those blocks
+        # must appear in the attribution.
+        assert blocks.get("l15", 0) > 0
+        assert blocks.get("l2+directory", 0) > 0
+
+    def test_activity_moves_power(self, shared_system):
+        def power_of(activity: float) -> float:
+            gen = generate(
+                WorkloadSpec(activity=activity, seed=4)
+            )
+            run = shared_system.run_workload(
+                {0: gen.tile_program},
+                warmup_cycles=1_000,
+                window_cycles=4_000,
+            )
+            model = ChipPowerModel(shared_system.persona)
+            return model.event_power(
+                run.ledger, run.window_cycles, OperatingPoint()
+            ).total_w
+
+        assert power_of(1.0) > power_of(0.0) * 1.2
+
+
+class TestTracingUnderFullSystem:
+    def test_epi_test_has_no_extraneous_activity(self, shared_system):
+        """The paper's RTL check, reproduced: the EPI add loop issues
+        only adds and the loop branch."""
+        from repro.isa.operands import OperandPolicy
+        from repro.workloads.epi_tests import build_epi_workload
+
+        _, tp = build_epi_workload("add", OperandPolicy.RANDOM, 0)
+        ledger = EventLedger()
+        engine = shared_system.new_engine(ledger)
+        core = engine.add_core(0, tp.programs, tp.init_regs, tp.init_fregs)
+        with TraceRecorder(core) as trace:
+            engine.run(cycles=500)
+        assert trace.only_ops({"add", "bne"})
+        # 20 adds + one 3-cycle branch per iteration: 21/23 issues/cycle.
+        assert trace.issues_per_cycle() == pytest.approx(21 / 23, abs=0.05)
+
+
+class TestMultiTenantComposition:
+    def test_cdr_and_mitts_together(self, shared_system):
+        cdr = CdrRegistry()
+        service = cdr.create_domain("service", [0, 1])
+        cdr.assign_region(service, 0x0020_0000, 0x2000)
+        cdr.assign_region(service, 0x0030_0000, 0x2000)
+
+        ledger = EventLedger()
+        engine = shared_system.new_engine(ledger)
+        engine.memsys.cdr = cdr
+        hist = hist_workload([0, 1], 2, total_elements=128)
+        for tile, tp in hist.tiles.items():
+            engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
+            engine.memory.load_image(tp.memory_image)
+        batch = build_memtest("l2_miss_local", 10, shared_system.config)
+        engine.add_core(
+            10,
+            batch.tile_program.programs,
+            batch.tile_program.init_regs,
+        )
+        engine.memory.load_image(batch.tile_program.memory_image)
+        engine.memsys.set_mitts(
+            10,
+            MittsShaper(
+                [MittsBin(0, 0), MittsBin(500, 4)], epoch_cycles=5_000
+            ),
+        )
+        engine.run(cycles=15_000)
+        engine.memsys.check_invariants()
+        assert ledger.count("mitts.stall_cycle") > 0
+        # The service tenant made progress despite the batch stream.
+        service_loads = sum(
+            t.stats.loads
+            for tile in (0, 1)
+            for t in engine.cores[tile].threads
+        )
+        assert service_loads > 10
+
+
+class TestWindowLedgerCorrectness:
+    def test_window_excludes_warmup_events(self, shared_system):
+        gen = generate(WorkloadSpec(seed=6))
+        run = shared_system.run_workload(
+            {0: gen.tile_program},
+            warmup_cycles=5_000,
+            window_cycles=1_000,
+        )
+        # ~1 issue per cycle upper bound: warmup events must not leak.
+        assert run.ledger.count("core.active_cycle") <= 1_100
+
+    def test_window_rebinding_covers_offchip(self, shared_system):
+        """Events from the off-chip path must land in the *window*
+        ledger after the rebind, not the warm-up one."""
+        mt = build_memtest("l2_miss_local", 0, shared_system.config)
+        run = shared_system.run_workload(
+            {0: mt.tile_program},
+            warmup_cycles=12_000,
+            window_cycles=12_000,
+        )
+        assert run.ledger.count("io.beat") > 0
+        assert run.ledger.count("mem.outstanding_cycle") > 0
+
+    def test_measurement_consistent_with_model(self, shared_system):
+        """The bench 'measurement' must track the noise-free model to
+        within instrument noise."""
+        gen = generate(WorkloadSpec(seed=8))
+        run = shared_system.run_workload(
+            {0: gen.tile_program},
+            warmup_cycles=1_000,
+            window_cycles=4_000,
+        )
+        true_w = shared_system.bench.true_total_power_w(
+            run.ledger, run.window_cycles
+        )
+        measured = run.measurement.total.value
+        assert measured == pytest.approx(true_w, rel=0.01)
+
+
+class TestSystemFacade:
+    def test_default_interleave_and_config(self):
+        system = PitonSystem.default(seed=3)
+        assert system.config.tile_count == 25
+        engine = system.new_engine()
+        assert engine.memsys.address_map.interleave.value == "low"
+
+    def test_engines_are_independent(self, shared_system):
+        a = shared_system.new_engine()
+        b = shared_system.new_engine()
+        from repro.isa.assembler import assemble
+
+        a.add_core(0, [assemble("nop")])
+        assert 0 not in b.cores

@@ -1,0 +1,81 @@
+"""Property-based tests: CDR-restricted memory systems stay safe and
+functional under random in-domain operation sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import PitonConfig
+from repro.cache.cdr import CdrRegistry, CdrViolation
+from repro.cache.system import CoherentMemorySystem, fixed_offchip_model
+
+CONFIG = PitonConfig(mesh_width=3, mesh_height=3)
+REGION_BASE = 0x10000
+REGION_SIZE = 0x4000
+
+domains_strategy = st.lists(
+    st.sets(st.integers(0, CONFIG.tile_count - 1), min_size=1, max_size=4),
+    min_size=1,
+    max_size=3,
+)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "atomic"]),
+        st.integers(0, 200),  # domain-relative actor index
+        st.integers(0, REGION_SIZE - 8),  # offset inside the region
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_system(memberships):
+    registry = CdrRegistry()
+    for i, members in enumerate(memberships):
+        domain = registry.create_domain(f"d{i}", members)
+        registry.assign_region(
+            domain, REGION_BASE + i * REGION_SIZE, REGION_SIZE
+        )
+    system = CoherentMemorySystem(
+        CONFIG, offchip=fixed_offchip_model(80), cdr=registry
+    )
+    return registry, system
+
+
+@given(domains_strategy, ops_strategy)
+@settings(max_examples=50, deadline=None)
+def test_in_domain_traffic_never_trips_and_stays_coherent(
+    memberships, ops
+):
+    registry, system = build_system(memberships)
+    for op, actor_index, offset in ops:
+        domain_index = actor_index % len(memberships)
+        members = sorted(memberships[domain_index])
+        tile = members[actor_index % len(members)]
+        addr = REGION_BASE + domain_index * REGION_SIZE + offset
+        if op == "load":
+            system.load(tile, addr)
+        elif op == "store":
+            system.store(tile, addr)
+        else:
+            system.atomic(tile, addr)
+    system.check_invariants()
+
+
+@given(domains_strategy, st.integers(0, CONFIG.tile_count - 1))
+@settings(max_examples=60, deadline=None)
+def test_out_of_domain_always_trips(memberships, tile):
+    registry, system = build_system(memberships)
+    for i, members in enumerate(memberships):
+        addr = REGION_BASE + i * REGION_SIZE + 8
+        if tile in members:
+            system.load(tile, addr)
+        else:
+            try:
+                system.load(tile, addr)
+                raise AssertionError("expected CdrViolation")
+            except CdrViolation:
+                pass
+    system.check_invariants()

@@ -1,0 +1,171 @@
+"""Property-based tests: assembler round-trips, cache structures,
+address homing, thermal convergence, measurement statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import CacheParams, PitonConfig
+from repro.board.monitor import MeasurementProtocol
+from repro.cache.addressing import AddressMap, Interleave
+from repro.cache.setassoc import SetAssocCache
+from repro.isa.assembler import assemble
+from repro.power.chip_power import RailPower
+from repro.thermal.rc_network import RcStage, ThermalNetwork
+from repro.util.stats import Measurement
+
+REG = st.integers(0, 31)
+IMM = st.integers(-(2**31), 2**31 - 1)
+
+
+@given(REG, REG, REG)
+def test_assembler_round_trip_alu(rs1, rs2, rd):
+    source = f"add %r{rs1}, %r{rs2}, %r{rd}"
+    instr = assemble(source)[0]
+    assert (instr.rs1, instr.rs2, instr.rd) == (rs1, rs2, rd)
+
+
+@given(REG, st.integers(0, 2**20), REG)
+def test_assembler_round_trip_load(base, offset, rd):
+    instr = assemble(f"ldx [%r{base} + {offset}], %r{rd}")[0]
+    assert (instr.rs1, instr.imm, instr.rd) == (base, offset, rd)
+
+
+@given(IMM, REG)
+def test_assembler_round_trip_set(imm, rd):
+    instr = assemble(f"set {imm}, %r{rd}")[0]
+    assert (instr.imm, instr.rd) == (imm, rd)
+
+
+cache_geometries = st.tuples(
+    st.sampled_from([1, 2, 4, 8]),  # ways
+    st.sampled_from([2, 4, 16, 64]),  # sets
+    st.sampled_from([16, 32, 64]),  # line bytes
+)
+
+
+@given(
+    cache_geometries,
+    st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_never_exceeds_capacity_and_stats_consistent(geom, addrs):
+    ways, sets, line = geom
+    cache = SetAssocCache(CacheParams(ways * sets * line, ways, line))
+    for addr in addrs:
+        if not cache.access(addr).hit:
+            cache.fill(addr)
+    resident = cache.resident_lines()
+    assert len(resident) <= ways * sets
+    assert len(set(resident)) == len(resident)  # no duplicate lines
+    assert cache.stats.accesses == len(addrs)
+    # Every address we touched is resident or was evicted.
+    for addr in addrs[-ways:]:  # at least the most recent per set
+        pass  # LRU guarantee checked below for single-set case
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+@settings(max_examples=60)
+def test_lru_keeps_most_recent(way_choices):
+    """In a single-set cache, the most recently touched `ways` distinct
+    lines are always resident."""
+    ways = 2
+    cache = SetAssocCache(CacheParams(ways * 16, ways, 16))
+    for choice in way_choices:
+        addr = choice * 16
+        if not cache.access(addr).hit:
+            cache.fill(addr)
+    recent = []
+    for choice in reversed(way_choices):
+        if choice * 16 not in recent:
+            recent.append(choice * 16)
+        if len(recent) == ways:
+            break
+    for addr in recent:
+        assert cache.probe(addr)
+
+
+@given(
+    st.sampled_from(list(Interleave)),
+    st.integers(0, 2**40),
+)
+def test_home_tile_in_range(interleave, addr):
+    amap = AddressMap(PitonConfig(), interleave)
+    assert 0 <= amap.home_tile(addr) < 25
+
+
+@given(st.sampled_from(list(Interleave)), st.integers(0, 2**32))
+def test_same_line_same_home(interleave, addr):
+    """Every byte of a 64B line must home at the same slice."""
+    amap = AddressMap(PitonConfig(), interleave)
+    base = (addr // 64) * 64
+    homes = {amap.home_tile(base + off) for off in (0, 13, 63)}
+    assert len(homes) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.5, 20.0), st.floats(0.1, 50.0)),
+        min_size=1,
+        max_size=4,
+    ),
+    st.floats(0.0, 10.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_thermal_network_converges_to_analytic(stages_spec, power):
+    stages = [
+        RcStage(f"s{i}", r, c) for i, (r, c) in enumerate(stages_spec)
+    ]
+    net = ThermalNetwork(stages, ambient_c=25.0)
+    expected = net.steady_state(power)[0]
+    # The slowest mode of a Cauer ladder is bounded by each node's
+    # capacity times its total resistance path to ambient.
+    tau_max = max(
+        stage.c_j_per_c
+        * sum(s.r_c_per_w for s in stages[i:])
+        for i, stage in enumerate(stages)
+    )
+    for _ in range(400):
+        net.step(power, dt_s=tau_max / 25)
+    assert abs(net.die_temp_c - expected) < max(0.5, 0.02 * expected)
+
+
+@given(
+    st.floats(0.01, 10.0),
+    st.floats(0.001, 1.0),
+    st.floats(0.001, 0.5),
+    st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_measurement_protocol_unbiased(vdd_w, vcs_w, vio_w, seed):
+    protocol = MeasurementProtocol(np.random.default_rng(seed))
+    m = protocol.measure_steady(
+        RailPower(vdd_w, vcs_w, vio_w),
+        {"vdd": 1.0, "vcs": 1.05, "vio": 1.8},
+    )
+    # Mean within 5 sigma-of-mean of truth (sigma/sqrt(128) each way).
+    for measured, truth in (
+        (m.vdd, vdd_w),
+        (m.vcs, vcs_w),
+        (m.vio, vio_w),
+    ):
+        tolerance = 5 * max(measured.sigma, 1e-4) / np.sqrt(128)
+        assert abs(measured.value - truth) < max(tolerance, 0.01 * truth)
+
+
+@given(
+    st.floats(-100, 100),
+    st.floats(0, 10),
+    st.floats(-100, 100),
+    st.floats(0, 10),
+)
+def test_measurement_algebra_consistency(a, sa, b, sb):
+    x, y = Measurement(a, sa), Measurement(b, sb)
+    s = x + y
+    d = x - y
+    assert s.value == a + b
+    assert d.value == a - b
+    assert s.sigma == d.sigma  # independent errors add in quadrature
+    assert s.sigma >= max(sa, sb)

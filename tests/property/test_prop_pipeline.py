@@ -1,0 +1,101 @@
+"""Property-based tests: the timing pipeline computes the same
+architectural results as a plain functional interpreter.
+
+Timing machinery (store buffers, rollbacks, thread interleaving) must
+never change *what* a program computes — only when.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multicore import MulticoreEngine, SharedMemory
+from repro.core.semantics import execute
+from repro.core.thread import ThreadContext
+from repro.isa.program import Instruction, Program
+
+SRC = st.integers(1, 7)
+DST = st.integers(1, 7)
+
+alu_instruction = st.builds(
+    Instruction,
+    op=st.sampled_from(["add", "sub", "and", "or", "xor", "mulx"]),
+    rd=DST,
+    rs1=SRC,
+    rs2=SRC,
+)
+set_instruction = st.builds(
+    Instruction,
+    op=st.just("set"),
+    rd=DST,
+    imm=st.integers(0, 2**32),
+)
+load_instruction = st.builds(
+    Instruction,
+    op=st.just("ldx"),
+    rd=DST,
+    rs1=st.just(10),  # base register planted at a fixed address
+    imm=st.sampled_from([0, 8, 16, 24]),
+)
+store_instruction = st.builds(
+    Instruction,
+    op=st.just("stx"),
+    rs1=SRC,
+    rs2=st.just(10),
+    imm=st.sampled_from([0, 8, 16, 24]),
+)
+
+programs = st.lists(
+    st.one_of(
+        alu_instruction, set_instruction, load_instruction,
+        store_instruction,
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda instrs: Program(list(instrs)))
+
+
+def reference_run(program: Program, init_regs: dict[int, int]):
+    """Pure functional execution, no timing."""
+    memory = SharedMemory()
+    thread = ThreadContext(thread_id=0, program=program)
+    pending_stores: list[tuple[int, int]] = []
+    for reg, value in init_regs.items():
+        thread.write_int(reg, value)
+    while not thread.done:
+        out = execute(program[thread.pc], thread, memory)
+        if out.is_store:
+            memory.write(out.mem_addr, out.store_value)
+    return thread.regs, memory
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_reference_semantics(program):
+    init = {10: 0x1000, 1: 3, 2: 5, 3: 7}
+    ref_regs, ref_memory = reference_run(program, init)
+
+    engine = MulticoreEngine()
+    engine.add_core(0, [program], init_regs=init)
+    engine.run(until_done=True, max_cycles=2_000_000)
+
+    got = engine.cores[0].threads[0].regs
+    assert got == ref_regs
+    for offset in (0, 8, 16, 24):
+        addr = 0x1000 + offset
+        assert engine.memory.read(addr) == ref_memory.read(addr)
+
+
+@given(programs)
+@settings(max_examples=30, deadline=None)
+def test_cycle_count_bounded_by_latency_sum(program):
+    """Total cycles can never exceed the sum of worst-case per-op
+    latencies (cold-miss memory included) plus rollback penalties."""
+    init = {10: 0x1000, 1: 3, 2: 5, 3: 7}
+    engine = MulticoreEngine()
+    engine.add_core(0, [program], init_regs=init)
+    result = engine.run(until_done=True, max_cycles=2_000_000)
+    worst_per_op = 500  # cold DRAM round trip upper bound
+    assert result.cycles <= len(program) * worst_per_op + 500
+    assert result.instructions >= len(program)

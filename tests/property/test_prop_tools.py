@@ -1,0 +1,62 @@
+"""Property-based tests for the tooling: disassembler round-trips over
+generated programs; synthetic workloads always validate and run."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.workloads.synthetic import WorkloadSpec, generate
+
+specs = st.builds(
+    WorkloadSpec,
+    ops_per_iteration=st.integers(4, 48),
+    load_frac=st.floats(0.0, 0.3),
+    store_frac=st.floats(0.0, 0.2),
+    mul_frac=st.floats(0.0, 0.2),
+    fp_frac=st.floats(0.0, 0.2),
+    branchiness=st.floats(0.0, 0.15),
+    activity=st.floats(0.0, 1.0),
+    footprint_bytes=st.sampled_from([64, 1024, 4096]),
+    seed=st.integers(0, 1_000),
+)
+
+
+@given(specs)
+@settings(max_examples=60, deadline=None)
+def test_generated_programs_always_validate(spec):
+    gen = generate(spec)
+    gen.tile_program.programs[0].validate()
+    total_ops = sum(gen.static_mix.values())
+    assert total_ops >= spec.ops_per_iteration
+
+
+@given(specs)
+@settings(max_examples=40, deadline=None)
+def test_disassembler_round_trips_generated_programs(spec):
+    program = generate(spec).tile_program.programs[0]
+    text = disassemble(program)
+    again = assemble(text)
+    assert len(again) == len(program)
+    for a, b in zip(again, program):
+        assert str(a) == str(b)
+
+
+@given(specs, st.integers(1, 10))
+@settings(max_examples=15, deadline=None)
+def test_generated_finite_workloads_terminate(spec, iterations):
+    from repro.core.multicore import MulticoreEngine
+
+    gen = generate(spec, iterations=iterations)
+    engine = MulticoreEngine()
+    engine.add_core(
+        0,
+        gen.tile_program.programs,
+        init_regs=gen.tile_program.init_regs,
+        init_fregs=gen.tile_program.init_fregs,
+    )
+    engine.memory.load_image(gen.tile_program.memory_image)
+    result = engine.run(until_done=True, max_cycles=5_000_000)
+    assert result.completed

@@ -1,0 +1,159 @@
+"""Unit tests for repro.arch: parameters, area database, floorplan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.area import AreaBreakdown, CHIP_AREA, CORE_AREA, TILE_AREA
+from repro.arch.floorplan import Floorplan, TileCoord
+from repro.arch.params import CacheParams, PitonConfig
+
+
+class TestCacheParams:
+    def test_table1_l1d(self):
+        l1d = PitonConfig().l1d
+        assert l1d.size_bytes == 8 * 1024
+        assert l1d.associativity == 4
+        assert l1d.line_bytes == 16
+        assert l1d.num_sets == 128
+
+    def test_table1_l2(self):
+        l2 = PitonConfig().l2_slice
+        assert l2.num_sets == 256
+        assert l2.num_lines == 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheParams(1000, 3, 16)  # not divisible
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheParams(0, 4, 16)
+
+
+class TestPitonConfig:
+    def test_table1_totals(self, config):
+        assert config.tile_count == 25
+        assert config.total_threads == 50
+        assert config.l2_total_bytes == 25 * 64 * 1024
+        assert config.max_hops == 8
+
+    def test_with_mesh(self, config):
+        big = config.with_mesh(8, 8)
+        assert big.tile_count == 64
+        assert big.l1d == config.l1d
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ValueError):
+            PitonConfig(mesh_width=0)
+
+    def test_clock_defaults(self, config):
+        assert config.clocks.dram_phy_hz == pytest.approx(800e6)
+        assert config.clocks.uart_baud == 115_200
+
+
+class TestAreaBreakdown:
+    def setup_method(self):
+        self.area = AreaBreakdown()
+
+    def test_totals_match_figure8(self):
+        assert self.area.total_mm2("chip") == CHIP_AREA == 35.97552
+        assert self.area.total_mm2("tile") == TILE_AREA == 1.17459
+        assert self.area.total_mm2("core") == CORE_AREA == 0.55205
+
+    @pytest.mark.parametrize("level", ["chip", "tile", "core"])
+    def test_percentages_sum_to_100(self, level):
+        assert self.area.percent_sum(level) == pytest.approx(100.0, abs=0.1)
+
+    def test_core_share_of_tile(self):
+        assert self.area.entries("tile")["core"].percent == 47.00
+
+    def test_block_mm2(self):
+        l2 = self.area.block_mm2("tile", "l2_cache")
+        assert l2 == pytest.approx(1.17459 * 0.2216, rel=1e-6)
+
+    def test_unknown_block(self):
+        with pytest.raises(KeyError, match="no block"):
+            self.area.block_mm2("tile", "gpu")
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError, match="unknown level"):
+            self.area.total_mm2("rack")
+
+    @pytest.mark.parametrize("level", ["chip", "tile", "core"])
+    def test_sram_plus_logic_is_active(self, level):
+        total = self.area.active_mm2(level)
+        assert self.area.sram_mm2(level) + self.area.logic_mm2(
+            level
+        ) == pytest.approx(total)
+        assert 0 < total < self.area.total_mm2(level)
+
+    def test_filler_excluded_from_active(self):
+        active = self.area.active_mm2("tile")
+        filler = self.area.block_mm2("tile", "filler")
+        assert active + filler < TILE_AREA
+
+
+class TestFloorplan:
+    def setup_method(self):
+        self.fp = Floorplan()
+
+    def test_row_major_numbering(self):
+        assert self.fp.coord_of(0) == TileCoord(0, 0)
+        assert self.fp.coord_of(4) == TileCoord(4, 0)
+        assert self.fp.coord_of(24) == TileCoord(4, 4)
+        assert self.fp.tile_id_of(TileCoord(2, 3)) == 17
+
+    def test_coord_round_trip(self):
+        for tile in self.fp.all_tiles():
+            assert self.fp.tile_id_of(self.fp.coord_of(tile)) == tile
+
+    def test_hops(self):
+        assert self.fp.hops(0, 0) == 0
+        assert self.fp.hops(0, 4) == 4
+        assert self.fp.hops(0, 24) == 8
+        assert self.fp.hops(12, 12) == 0
+
+    def test_turns(self):
+        assert not self.fp.has_turn(0, 4)  # pure X
+        assert not self.fp.has_turn(0, 20)  # pure Y
+        assert self.fp.has_turn(0, 24)
+
+    def test_route_dimension_ordered(self):
+        route = self.fp.route(0, 24)
+        assert route[0] == 0 and route[-1] == 24
+        assert route == [0, 1, 2, 3, 4, 9, 14, 19, 24]
+
+    def test_route_length(self):
+        for src, dst in [(0, 24), (7, 13), (20, 4)]:
+            assert len(self.fp.route(src, dst)) == self.fp.hops(src, dst) + 1
+
+    def test_wire_length_uses_pitch(self):
+        mm = self.fp.wire_length_mm(0, 1)
+        assert mm == pytest.approx(1.14452)
+        mm_y = self.fp.wire_length_mm(0, 5)
+        assert mm_y == pytest.approx(1.053)
+
+    def test_tile_at_hops_paper_examples(self):
+        # Paper: tile1 = 1 hop, tile2 = 2 hops, tile9 = 5 hops from 0.
+        assert self.fp.tile_at_hops(0, 1) == 1
+        assert self.fp.tile_at_hops(0, 2) == 2
+        assert self.fp.hops(0, self.fp.tile_at_hops(0, 5)) == 5
+        assert self.fp.hops(0, self.fp.tile_at_hops(0, 8)) == 8
+
+    def test_tile_at_hops_unreachable(self):
+        with pytest.raises(ValueError):
+            self.fp.tile_at_hops(12, 8)  # centre: max 4 hops
+
+    def test_max_hops_from(self):
+        assert self.fp.max_hops_from(0) == 8
+        assert self.fp.max_hops_from(12) == 4
+        assert self.fp.max_hops_from(2) == 6
+
+    def test_neighbors(self):
+        assert sorted(self.fp.neighbors(0)) == [1, 5]
+        assert sorted(self.fp.neighbors(12)) == [7, 11, 13, 17]
+
+    def test_bad_tile(self):
+        with pytest.raises(ValueError):
+            self.fp.coord_of(25)

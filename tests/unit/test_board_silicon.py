@@ -1,0 +1,201 @@
+"""Unit tests for repro.board (instruments, protocol, test system) and
+repro.silicon (personas, yield)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.board.monitor import MeasurementProtocol
+from repro.board.psu import BenchSupply, OnBoardSupply
+from repro.board.sense import CurrentSenseChannel, SenseResistor, VoltageMonitor
+from repro.board.testboard import ExperimentalSystem, PitonTestBoard
+from repro.power.chip_power import RailPower
+from repro.silicon.variation import (
+    CHIP1,
+    CHIP2,
+    CHIP3,
+    ChipPersona,
+    sample_persona,
+)
+from repro.silicon.yield_model import (
+    ChipStatus,
+    PAPER_SHARES,
+    YieldModel,
+    YieldParameters,
+)
+from repro.util.events import EventLedger
+from repro.util.rng import RngFactory
+
+
+class TestPsu:
+    def test_remote_sense_holds_setpoint(self):
+        psu = BenchSupply("VDD", 1.0)
+        assert psu.voltage_at_load(5.0) == pytest.approx(1.0)
+
+    def test_no_remote_sense_droops(self):
+        psu = BenchSupply("X", 1.0, remote_sense=False)
+        assert psu.voltage_at_load(5.0) < 1.0
+
+    def test_current_limit(self):
+        with pytest.raises(OverflowError):
+            BenchSupply("X", 1.0, max_current_a=1.0).voltage_at_load(2.0)
+
+    def test_setpoint_resolution(self):
+        psu = BenchSupply("X", 1.0, setpoint_resolution_v=0.01)
+        psu.set_voltage(1.0042)
+        assert psu.voltage_at_load(0.0) == pytest.approx(1.0)
+
+    def test_onboard_coarser(self):
+        ob = OnBoardSupply("onboard", 1.0)
+        bench = BenchSupply("bench", 1.0)
+        assert ob.setpoint_resolution_v > bench.setpoint_resolution_v
+
+    def test_invalid_setpoint(self):
+        with pytest.raises(ValueError):
+            BenchSupply("X", 1.0).set_voltage(0)
+
+    def test_negative_current(self):
+        with pytest.raises(ValueError):
+            BenchSupply("X", 1.0).voltage_at_load(-1.0)
+
+
+class TestSense:
+    def test_resistor_drop(self):
+        assert SenseResistor(0.005).drop_v(2.0) == pytest.approx(0.01)
+
+    def test_resistor_validation(self):
+        with pytest.raises(ValueError):
+            SenseResistor(0.0)
+
+    def test_monitor_quantizes(self):
+        mon = VoltageMonitor(
+            np.random.default_rng(0), lsb_v=0.001, noise_sigma_v=0.0
+        )
+        assert mon.read(1.0004) == pytest.approx(1.0)
+
+    def test_current_channel_accuracy(self):
+        rng = np.random.default_rng(1)
+        chan = CurrentSenseChannel(SenseResistor(), rng)
+        readings = [chan.read_current_a(2.0, 1.0) for _ in range(200)]
+        assert np.mean(readings) == pytest.approx(2.0, rel=0.01)
+
+
+class TestMeasurementProtocol:
+    def test_sample_count_and_noise(self):
+        protocol = MeasurementProtocol(np.random.default_rng(2))
+        power = RailPower(2.0, 0.3, 0.1)
+        m = protocol.measure_steady(
+            power, {"vdd": 1.0, "vcs": 1.05, "vio": 1.8}
+        )
+        assert m.vdd.value == pytest.approx(2.0, rel=0.01)
+        assert m.vdd.sigma > 0  # instrument noise shows up
+        assert m.total.value == pytest.approx(2.4, rel=0.01)
+
+    def test_time_varying_power_widens_sigma(self):
+        protocol = MeasurementProtocol(np.random.default_rng(3))
+        steady = protocol.measure_steady(
+            RailPower(2.0, 0.0001, 0.0001),
+            {"vdd": 1.0, "vcs": 1.05, "vio": 1.8},
+        )
+
+        def wobble(t: float) -> RailPower:
+            return RailPower(2.0 + 0.2 * np.sin(t), 0.0001, 0.0001)
+
+        protocol2 = MeasurementProtocol(np.random.default_rng(3))
+        wobbly = protocol2.measure(
+            wobble, {"vdd": 1.0, "vcs": 1.05, "vio": 1.8}
+        )
+        assert wobbly.vdd.sigma > 5 * steady.vdd.sigma
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(np.random.default_rng(0), poll_hz=0)
+
+
+class TestExperimentalSystem:
+    def test_default_rails(self):
+        board = PitonTestBoard()
+        rails = board.rail_voltages()
+        assert rails == {"vdd": 1.0, "vcs": 1.05, "vio": 1.8}
+
+    def test_set_operating_point(self):
+        system = ExperimentalSystem()
+        system.set_operating_point(0.9, 0.95, 400e6)
+        assert system.freq_hz == 400e6
+        assert system.board.rail_voltages()["vdd"] == pytest.approx(0.9)
+
+    def test_workload_power_above_idle(self):
+        system = ExperimentalSystem(seed=5)
+        ledger = EventLedger()
+        ledger.record("instr.int_add", 10_000)
+        ledger.record("core.active_cycle", 10_000)
+        busy = system.measure_workload(ledger, 10_000).core.value
+        idle = system.measure_idle().core.value
+        assert busy > idle
+
+    def test_workload_needs_window(self):
+        system = ExperimentalSystem()
+        with pytest.raises(ValueError):
+            system.measure_workload(EventLedger(), None)
+
+    def test_self_heating_visible(self):
+        system = ExperimentalSystem()
+        cold = system.settle_temperature()
+        ledger = EventLedger()
+        ledger.record("instr.int_add", 1_000_000)
+        hot = system.settle_temperature(ledger, 10_000)
+        assert hot > cold > system.cooling.ambient_c
+
+
+class TestPersonas:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipPersona("bad", speed=3.0)
+
+    def test_paper_chip_relationships(self):
+        assert CHIP1.leak > CHIP2.leak > CHIP3.leak
+        assert CHIP1.speed > CHIP2.speed > CHIP3.speed
+
+    def test_sampling_deterministic(self):
+        a = sample_persona(np.random.default_rng(1), 0)
+        b = sample_persona(np.random.default_rng(1), 0)
+        assert a == b
+
+    def test_speed_leak_correlation(self):
+        rng = np.random.default_rng(7)
+        personas = [sample_persona(rng, i) for i in range(400)]
+        speeds = np.array([p.speed for p in personas])
+        leaks = np.log([p.leak for p in personas])
+        corr = np.corrcoef(speeds, leaks)[0, 1]
+        assert corr > 0.5  # fast silicon leaks more
+
+
+class TestYieldModel:
+    def test_expected_shares_match_table4(self):
+        expected = YieldParameters().expected_shares()
+        for status, share in PAPER_SHARES.items():
+            assert expected[status] == pytest.approx(share, abs=0.005), (
+                status
+            )
+
+    def test_deterministic_per_die(self):
+        model = YieldModel(rngs=RngFactory(3))
+        assert model.test_die(5).status == model.test_die(5).status
+
+    def test_lot_statistics_converge(self):
+        model = YieldModel(rngs=RngFactory(11))
+        summary = model.test_lot(4000)
+        good = summary.percentage(ChipStatus.GOOD)
+        assert good == pytest.approx(59.4, abs=3.0)
+
+    def test_repairability_flags(self):
+        assert ChipStatus.UNSTABLE_DETERMINISTIC.repairable
+        assert not ChipStatus.BAD_VCS_SHORT.repairable
+
+    def test_summary_counts(self):
+        model = YieldModel(rngs=RngFactory(0))
+        summary = model.test_lot(32)
+        assert summary.tested == 32
+        total = sum(summary.count(s) for s in ChipStatus)
+        assert total == 32

@@ -1,0 +1,105 @@
+"""Unit tests for the ASCII charts and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.util.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [1.0, 2.0, 3.0]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "o=a" in out
+        assert "3" in out and "1" in out  # y labels
+
+    def test_multiple_series_glyphs(self):
+        out = line_chart({"a": [1, 2], "b": [2, 1]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_x_axis_labels(self):
+        out = line_chart({"a": [1, 2]}, x_values=[0.8, 1.2])
+        assert "0.8" in out and "1.2" in out
+
+    def test_flat_series(self):
+        out = line_chart({"a": [5.0, 5.0, 5.0]})
+        assert out  # no division-by-zero on constant series
+
+    def test_single_point(self):
+        assert line_chart({"a": [1.0]})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, x_values=[1.0])
+
+    def test_monotone_series_descends_visually(self):
+        out = line_chart({"up": [0, 1, 2, 3]}, width=8, height=4)
+        rows = [
+            line.split("|", 1)[1]
+            for line in out.splitlines()
+            if "|" in line
+        ]
+        first_col = next(
+            i for i, row in enumerate(rows) if row.strip()
+        )
+        # The maximum lands on the top row, the minimum on the bottom.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+        assert first_col == 0
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"add": 95.0, "nop": 35.0}, unit="pJ")
+        assert "add" in out and "95" in out
+        add_len = out.splitlines()[0].count("#")
+        nop_len = out.splitlines()[1].count("#")
+        assert add_len > nop_len
+
+    def test_title(self):
+        out = bar_chart({"x": 1.0}, title="EPI")
+        assert out.splitlines()[0] == "EPI"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values_safe(self):
+        assert bar_chart({"x": 0.0})
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "ablation_dvfs" in out
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "fig8", "--quick"]) == 0
+        assert "Area breakdown" in capsys.readouterr().out
+
+    def test_measure(self, capsys):
+        assert main(["measure", "--persona", "chip3"]) == 0
+        out = capsys.readouterr().out
+        assert "chip3" in out and "static" in out
+
+    def test_chart(self, capsys):
+        assert main(["chart", "fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "chip1" in out and "|" in out
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

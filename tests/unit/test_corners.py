@@ -1,0 +1,156 @@
+"""Corner-case unit tests across modules: L2 slice internals, thread
+stats, PSU variants, ledger weight merging, DRAM row mapping, bridge
+patterns at other clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.params import CacheParams
+from repro.cache.coherence import CoherenceError
+from repro.cache.l2 import L2Slice
+from repro.chip.chipbridge import ChipBridge
+from repro.chip.dram import DramModel
+from repro.core.thread import ThreadStats
+from repro.board.psu import OnBoardSupply
+from repro.util.events import EventLedger
+
+
+class TestL2SliceDirect:
+    def make(self):
+        return L2Slice(0, CacheParams(4 * 2 * 64, 2, 64), EventLedger())
+
+    def test_directory_requires_residency(self):
+        slice_ = self.make()
+        with pytest.raises(CoherenceError, match="non-resident"):
+            slice_.entry(0x0)
+
+    def test_fill_then_entry(self):
+        slice_ = self.make()
+        slice_.fill(0x0)
+        entry = slice_.entry(0x0)
+        entry.add_sharer(3)
+        assert slice_.entry(0x0).sharers == {3}
+
+    def test_eviction_returns_recall(self):
+        slice_ = self.make()  # 4 sets x 2 ways
+        # Fill one set (same set index) to overflow.
+        stride = 4 * 64  # set stride
+        slice_.fill(0x0)
+        slice_.entry(0x0).add_sharer(1)
+        slice_.fill(stride)
+        recall = slice_.fill(2 * stride)  # evicts LRU 0x0
+        assert recall is not None
+        assert recall.line_addr == 0x0
+        assert recall.sharers == {1}
+        # The directory entry for the evicted line is gone.
+        assert 0x0 not in slice_.directory
+
+    def test_dirty_eviction_flagged(self):
+        slice_ = self.make()
+        stride = 4 * 64
+        slice_.fill(0x0, dirty=True)
+        slice_.fill(stride)
+        recall = slice_.fill(2 * stride)
+        assert recall.dirty_writeback
+
+    def test_writeback_to_nonresident_raises(self):
+        slice_ = self.make()
+        with pytest.raises(CoherenceError, match="writeback"):
+            slice_.writeback_data(0x0)
+
+    def test_invariant_detects_stale_directory(self):
+        slice_ = self.make()
+        slice_.fill(0x0)
+        slice_.directory[0x9999 * 64] = slice_.entry(0x0).__class__()
+        with pytest.raises(CoherenceError, match="non-resident"):
+            slice_.check_invariants()
+
+    def test_drop_private_cleans_empty_entries(self):
+        slice_ = self.make()
+        slice_.fill(0x0)
+        slice_.entry(0x0).add_sharer(2)
+        slice_.drop_private(0x0, 2)
+        assert 0x0 not in slice_.directory
+
+
+class TestThreadStats:
+    def test_merge(self):
+        a = ThreadStats(instructions=5, loads=2, rollbacks=1)
+        b = ThreadStats(instructions=3, stores=4, iterations=2)
+        a.merge(b)
+        assert a.instructions == 8
+        assert a.loads == 2 and a.stores == 4
+        assert a.rollbacks == 1 and a.iterations == 2
+
+
+class TestOnBoardSupply:
+    def test_plane_droop(self):
+        psu = OnBoardSupply("x", 1.0)
+        assert psu.voltage_at_load(5.0) < 1.0
+
+    def test_remote_sense_variant_holds(self):
+        psu = OnBoardSupply("vdd", 1.0, remote_sense=True)
+        assert psu.voltage_at_load(5.0) == pytest.approx(1.0)
+
+    def test_negative_current(self):
+        with pytest.raises(ValueError):
+            OnBoardSupply("x", 1.0).voltage_at_load(-1)
+
+
+class TestLedgerWeights:
+    def test_merge_preserves_mean_activity(self):
+        a, b = EventLedger(), EventLedger()
+        a.record("e", 3, activity=0.0)
+        b.record("e", 1, activity=1.0)
+        a.merge(b)
+        assert a.mean_activity("e") == pytest.approx(0.25)
+
+    def test_names_iteration(self):
+        ledger = EventLedger()
+        ledger.record("x")
+        ledger.record("y")
+        assert set(ledger.names()) == {"x", "y"}
+
+    def test_as_dict_copy(self):
+        ledger = EventLedger()
+        ledger.record("x", 2)
+        d = ledger.as_dict()
+        d["x"] = 99
+        assert ledger.count("x") == 2
+
+
+class TestDramRowMapping:
+    def test_bank_and_row(self):
+        dram = DramModel(banks=8, row_bytes=4096)
+        bank0, row0 = dram._bank_and_row(0)
+        bank1, row1 = dram._bank_and_row(4096)
+        assert (bank0, row0) == (0, 0)
+        assert bank1 == 1 and row1 == 0
+        bank8, row8 = dram._bank_and_row(8 * 4096)
+        assert bank8 == 0 and row8 == 1
+
+    def test_parallel_banks_share_channel(self):
+        """Bank-level parallelism does not bypass the single channel:
+        back-to-back bursts to different banks still serialize."""
+        dram = DramModel()
+        first = dram.access_ns(0, 0.0)
+        second = dram.access_ns(4096, 0.0)  # different bank
+        assert second > first
+
+
+class TestBridgeAtOtherClocks:
+    def test_pattern_adapts_to_core_clock(self):
+        bridge = ChipBridge()
+        fast = bridge.traffic_pattern(1e9)
+        slow = bridge.traffic_pattern(250e6)
+        assert fast.flits_per_cycle < slow.flits_per_cycle
+
+    def test_pattern_accuracy(self):
+        bridge = ChipBridge()
+        for clock in (250e6, 500.05e6, 750e6):
+            rate = bridge.inbound_flits_per_core_cycle(clock)
+            pattern = bridge.traffic_pattern(clock)
+            assert pattern.flits_per_cycle == pytest.approx(
+                rate, rel=0.02
+            )

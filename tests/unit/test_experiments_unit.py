@@ -1,0 +1,70 @@
+"""Unit tests for the experiments framework itself (result container,
+registry plumbing, renderers) — cheap, no simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.result import ExperimentResult
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            headers=["k", "v"],
+        )
+        result.rows.append(("a", 1))
+        result.rows.append(("b", 2))
+        return result
+
+    def test_render_contains_rows_and_notes(self):
+        result = self.make()
+        result.notes.append("remark")
+        text = result.render()
+        assert "figX: demo" in text
+        assert "remark" in text
+        assert "a" in text and "b" in text
+
+    def test_row_dict(self):
+        result = self.make()
+        assert result.row_dict()["a"] == ("a", 1)
+        assert result.row_dict(key_column=1)[2] == ("b", 2)
+
+    def test_series_default_empty(self):
+        assert self.make().series == {}
+
+
+class TestRegistry:
+    def test_all_entries_resolvable(self):
+        for eid in EXPERIMENTS:
+            runner = get_experiment(eid)
+            assert callable(runner)
+
+    def test_descriptions_non_empty(self):
+        for eid, (module, description) in EXPERIMENTS.items():
+            assert module.startswith("repro.experiments."), eid
+            assert len(description) > 10, eid
+
+    def test_core_paper_results_covered(self):
+        """Every evaluation table/figure of the paper has an entry."""
+        expected = {
+            "table4", "fig8", "fig9", "fig10", "fig11", "table7",
+            "fig12", "fig13", "fig14", "table8", "table9", "fig15",
+            "fig16", "fig17", "fig18", "table10",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        assert {
+            "ablation_drafting",
+            "ablation_dvfs",
+            "ablation_mitts",
+            "ablation_multichip",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig0")

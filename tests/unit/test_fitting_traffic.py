@@ -1,0 +1,132 @@
+"""Unit tests for the calibration fitter and synthetic NoC traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.params import PitonConfig
+from repro.noc.traffic import (
+    bit_complement,
+    drive,
+    hotspot,
+    neighbour,
+    transpose,
+    uniform_random,
+)
+from repro.power.fitting import _measured_core_w, fit_fmax, fit_static_idle
+from repro.power.technology import fmax_hz
+from repro.silicon.variation import CHIP2, TYPICAL
+
+
+class TestFitStaticIdle:
+    def test_recovers_shipped_anchors(self):
+        """Fitting to Table V targets must land on (almost) the shipped
+        calibration's measured values."""
+        calib = fit_static_idle(0.3893, 2.0153, persona=CHIP2)
+        static = _measured_core_w(calib, CHIP2, False, calib.r_theta_ja)
+        idle = _measured_core_w(calib, CHIP2, True, calib.r_theta_ja)
+        assert static == pytest.approx(0.3893, rel=1e-4)
+        assert idle == pytest.approx(2.0153, rel=1e-4)
+
+    def test_fits_a_different_chip(self):
+        """A hypothetical leakier, hungrier chip."""
+        calib = fit_static_idle(0.55, 2.6, persona=TYPICAL)
+        static = _measured_core_w(calib, TYPICAL, False, calib.r_theta_ja)
+        idle = _measured_core_w(calib, TYPICAL, True, calib.r_theta_ja)
+        assert static == pytest.approx(0.55, rel=1e-3)
+        assert idle == pytest.approx(2.6, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_static_idle(0.5, 0.4)
+        with pytest.raises(ValueError):
+            fit_static_idle(0.0, 1.0)
+
+
+class TestFitFmax:
+    def test_single_anchor_moves_reference(self):
+        calib = fit_fmax([(1.0, 600e6)])
+        assert fmax_hz(1.0, calib=calib) == pytest.approx(600e6)
+
+    def test_two_anchor_fit(self):
+        anchors = [(0.8, 285.74e6), (1.0, 514.33e6)]
+        calib = fit_fmax(anchors)
+        for vdd, hz in anchors:
+            assert fmax_hz(vdd, calib=calib) == pytest.approx(
+                hz, rel=0.06
+            )
+
+    def test_empty_anchors(self):
+        with pytest.raises(ValueError):
+            fit_fmax([])
+
+
+class TestTrafficPatterns:
+    CONFIG = PitonConfig()
+
+    def test_uniform_random_in_range(self):
+        rng = np.random.default_rng(0)
+        pairs = uniform_random(100, rng, self.CONFIG)
+        assert all(0 <= s < 25 and 0 <= d < 25 for s, d in pairs)
+
+    def test_transpose_symmetry(self):
+        pairs = transpose(25, self.CONFIG)
+        mapping = dict(pairs)
+        for src, dst in pairs:
+            assert mapping[dst] == src  # transpose is an involution
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose(10, PitonConfig(mesh_width=4, mesh_height=5))
+
+    def test_bit_complement_extremes(self):
+        pairs = bit_complement(25, self.CONFIG)
+        assert pairs[0] == (0, 24)
+        assert pairs[24] == (24, 0)
+
+    def test_hotspot_concentration(self):
+        rng = np.random.default_rng(1)
+        pairs = hotspot(400, rng, self.CONFIG, hot_tile=12,
+                        hot_fraction=0.7)
+        hot = sum(1 for _, d in pairs if d == 12)
+        assert hot > 200
+
+    def test_hotspot_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            hotspot(10, rng, self.CONFIG, hot_fraction=1.5)
+
+    def test_neighbour_wraps(self):
+        pairs = neighbour(25, self.CONFIG)
+        assert (4, 0) in pairs  # east edge wraps to column 0
+
+
+class TestDrive:
+    def test_everything_delivered(self):
+        pairs = bit_complement(25, PitonConfig())
+        _, stats = drive(pairs)
+        assert stats.delivered == stats.injected == 25
+        assert stats.mean_latency > 0
+
+    def test_injection_interval_validation(self):
+        with pytest.raises(ValueError):
+            drive([(0, 1)], inject_every=0)
+
+    def test_hotspot_slower_than_neighbour(self):
+        """Contention at one ejection port inflates latency."""
+        config = PitonConfig()
+        rng = np.random.default_rng(2)
+        _, hot = drive(
+            hotspot(60, rng, config, hot_fraction=1.0), inject_every=1
+        )
+        _, near = drive(neighbour(60, config), inject_every=1)
+        assert hot.mean_latency > near.mean_latency
+
+    def test_faster_injection_more_contention(self):
+        config = PitonConfig()
+        rng = np.random.default_rng(3)
+        pairs = uniform_random(80, rng, config)
+        _, fast = drive(list(pairs), inject_every=1)
+        _, slow = drive(list(pairs), inject_every=20)
+        assert fast.peak_latency >= slow.peak_latency

@@ -1,0 +1,254 @@
+"""Unit tests for repro.isa: instructions, operands, programs,
+assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import (
+    INSTRUCTION_SET,
+    InstrClass,
+    Unit,
+    WORD_MASK,
+    opcode,
+)
+from repro.isa.operands import (
+    OperandPolicy,
+    activity_factor,
+    bit_pattern,
+    float_bits,
+    hamming_distance,
+    hamming_weight,
+    operand_value,
+    switching_factor,
+)
+from repro.isa.program import Instruction, Program, flat_program
+
+import numpy as np
+
+
+class TestInstructionSet:
+    """Latencies must match the paper's Table VI exactly."""
+
+    TABLE_VI = {
+        "nop": 1,
+        "and": 1,
+        "add": 1,
+        "mulx": 11,
+        "sdivx": 72,
+        "faddd": 22,
+        "fmuld": 25,
+        "fdivd": 79,
+        "fadds": 22,
+        "fmuls": 25,
+        "fdivs": 50,
+        "ldx": 3,
+        "stx": 10,
+        "beq": 3,
+        "bne": 3,
+    }
+
+    @pytest.mark.parametrize("name,latency", sorted(TABLE_VI.items()))
+    def test_table6_latency(self, name, latency):
+        assert opcode(name).latency == latency
+
+    def test_unknown_opcode(self):
+        with pytest.raises(KeyError, match="unknown opcode"):
+            opcode("vadd")
+
+    def test_classes(self):
+        assert opcode("add").instr_class is InstrClass.INT_ADD
+        assert opcode("and").instr_class is InstrClass.INT_LOGIC
+        assert opcode("fdivd").instr_class is InstrClass.FP_DIV_D
+
+    def test_units(self):
+        assert opcode("mulx").unit is Unit.MUL
+        assert opcode("ldx").unit is Unit.MEM
+        assert opcode("beq").unit is Unit.BRANCH
+
+    def test_flags(self):
+        assert opcode("ldx").is_load and not opcode("ldx").is_store
+        assert opcode("stx").is_store and not opcode("stx").has_dest
+        assert opcode("beq").is_branch
+        assert opcode("faddd").is_fp
+
+    def test_every_opcode_well_formed(self):
+        for name, info in INSTRUCTION_SET.items():
+            assert info.name == name
+            assert info.latency >= 1
+
+
+class TestOperands:
+    def test_minimum(self):
+        assert operand_value(OperandPolicy.MINIMUM) == 0
+        assert operand_value(OperandPolicy.MINIMUM, fp=True) == 0.0
+
+    def test_maximum_int(self):
+        assert operand_value(OperandPolicy.MAXIMUM) == WORD_MASK
+
+    def test_maximum_fp_is_finite_dense(self):
+        v = operand_value(OperandPolicy.MAXIMUM, fp=True)
+        assert v > 0 and v != float("inf")
+        assert hamming_weight(float_bits(v)) > 48
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError):
+            operand_value(OperandPolicy.RANDOM)
+
+    def test_random_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = operand_value(OperandPolicy.RANDOM, rng)
+            assert 0 <= v <= WORD_MASK
+
+    def test_hamming(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(WORD_MASK) == 64
+        assert hamming_distance(0, WORD_MASK) == 64
+        assert hamming_distance(0xF0, 0x0F) == 8
+
+    def test_activity_factor_bounds(self):
+        assert activity_factor(0) == 0.0
+        assert activity_factor(WORD_MASK) == 1.0
+        assert activity_factor(0.0) == 0.0
+
+    def test_switching_factor(self):
+        assert switching_factor(0, WORD_MASK) == 1.0
+        assert switching_factor(5, 5) == 0.0
+
+    def test_bit_pattern_float(self):
+        assert bit_pattern(1.0) == float_bits(1.0)
+        assert bit_pattern(7) == 7
+
+
+class TestProgram:
+    def test_validate_branch_target(self):
+        program = Program([Instruction("beq", rs1=1, target=5)])
+        with pytest.raises(ValueError, match="out of range"):
+            program.validate()
+
+    def test_validate_missing_target(self):
+        program = Program([Instruction("beq", rs1=1)])
+        with pytest.raises(ValueError, match="without target"):
+            program.validate()
+
+    def test_bad_register(self):
+        program = Program([Instruction("add", rd=40, rs1=1, rs2=2)])
+        with pytest.raises(ValueError, match="register"):
+            program.validate()
+
+    def test_instruction_mix(self):
+        program = flat_program(
+            [Instruction("nop"), Instruction("nop"),
+             Instruction("add", rd=1, rs1=1, rs2=2)]
+        )
+        assert program.instruction_mix() == {"nop": 2, "add": 1}
+
+    def test_str(self):
+        text = str(Instruction("add", rd=3, rs1=1, rs2=2))
+        assert text.startswith("add")
+        assert "rd=3" in text
+
+
+class TestAssembler:
+    def test_three_operand(self):
+        p = assemble("add %r1, %r2, %r3")
+        instr = p[0]
+        assert (instr.op, instr.rs1, instr.rs2, instr.rd) == (
+            "add", 1, 2, 3,
+        )
+
+    def test_immediate_operand(self):
+        p = assemble("and %r1, 0xff, %r2")
+        assert p[0].imm == 255
+        assert p[0].rs2 is None
+
+    def test_negative_immediate(self):
+        assert assemble("add %r1, -8, %r2")[0].imm == -8
+
+    def test_load(self):
+        p = assemble("ldx [%r4 + 16], %r5")
+        instr = p[0]
+        assert (instr.rs1, instr.imm, instr.rd) == (4, 16, 5)
+
+    def test_load_negative_offset(self):
+        assert assemble("ldx [%r4 - 8], %r5")[0].imm == -8
+
+    def test_load_no_offset(self):
+        assert assemble("ldx [%r4], %r5")[0].imm == 0
+
+    def test_store(self):
+        p = assemble("stx %r5, [%r4 + 16]")
+        instr = p[0]
+        assert (instr.rs1, instr.rs2, instr.imm) == (5, 4, 16)
+
+    def test_branch_and_label(self):
+        p = assemble("loop:\n  nop\n  bne %r1, loop")
+        assert p[1].target == 0
+        assert p.labels["loop"] == 0
+
+    def test_forward_label(self):
+        p = assemble("  beq %r0, end\n  nop\nend:\n  nop")
+        assert p[0].target == 2
+
+    def test_label_sharing_line(self):
+        p = assemble("start: nop")
+        assert p.labels["start"] == 0
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\na:\n nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("bne %r1, nowhere")
+
+    def test_comments(self):
+        p = assemble("nop ! comment\n# whole line\nnop")
+        assert len(p) == 2
+
+    def test_set(self):
+        p = assemble("set 1000, %r1")
+        assert (p[0].imm, p[0].rd) == (1000, 1)
+
+    def test_mov(self):
+        p = assemble("mov %r1, %r2")
+        assert (p[0].rs1, p[0].rd) == (1, 2)
+
+    def test_fp(self):
+        p = assemble("faddd %f0, %f2, %f4")
+        assert (p[0].rs1, p[0].rs2, p[0].rd) == (0, 2, 4)
+
+    def test_fp_immediate_rejected(self):
+        with pytest.raises(AssemblerError, match="register operands"):
+            assemble("faddd %f0, 3, %f4")
+
+    def test_cas(self):
+        p = assemble("cas [%r4], %r9, %r8")
+        instr = p[0]
+        assert (instr.rs1, instr.rs2, instr.rd) == (4, 9, 8)
+
+    def test_cas_offset_rejected(self):
+        with pytest.raises(AssemblerError, match="no address offset"):
+            assemble("cas [%r4 + 8], %r9, %r8")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown opcode"):
+            assemble("frobnicate %r1, %r2, %r3")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("add %r1, %r2, %r99")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expected"):
+            assemble("add %r1, %r2")
+
+    def test_nop_with_operands_rejected(self):
+        with pytest.raises(AssemblerError, match="takes no operands"):
+            assemble("nop %r1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus %r1, %r2, %r3")

@@ -1,0 +1,282 @@
+"""Unit tests for repro.power: calibration, technology, rail
+aggregation, VF curve, EPI/EPF methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    EVENT_ENERGIES,
+    EventEnergy,
+)
+from repro.power.chip_power import ChipPowerModel, OperatingPoint, RailPower
+from repro.power.epf import energy_per_flit, pj_per_hop_trendline
+from repro.power.epi import energy_per_instruction, subtract_filler_energy
+from repro.power.technology import (
+    clock_power_w,
+    fmax_hz,
+    leakage_scale,
+    static_power_w,
+)
+from repro.power.vf_curve import FREQ_STEP_HZ, VfCurve
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3, TYPICAL
+from repro.util.events import EventLedger
+from repro.util.stats import Measurement
+
+
+class TestCalibration:
+    def test_event_energy_validation(self):
+        with pytest.raises(ValueError):
+            EventEnergy(base_pj=-1)
+        with pytest.raises(ValueError):
+            EventEnergy(base_pj=1, vdd_frac=2.0)
+        with pytest.raises(ValueError):
+            EventEnergy(base_pj=1, rail="aux")
+
+    def test_all_priced_events_valid(self):
+        for name, price in EVENT_ENERGIES.items():
+            assert price.base_pj >= 0, name
+            assert 0 <= price.vdd_frac <= 1, name
+
+    def test_lookup(self):
+        calib = DEFAULT_CALIBRATION
+        assert calib.energy_for("instr.int_add") is not None
+        assert calib.energy_for("no.such.event") is None
+
+    def test_noc_trendline_constants(self):
+        """Fig 12 least-squares decomposition: router + wire pieces."""
+        router = EVENT_ENERGIES["noc1.router_pass"].base_pj
+        wire = EVENT_ENERGIES["noc1.flit_hop"].act_pj
+        assert router == pytest.approx(3.7, abs=0.5)
+        assert wire == pytest.approx(13.4, abs=1.0)
+
+
+class TestTechnology:
+    def test_leakage_exponential_voltage(self):
+        low = leakage_scale(0.9, 25.0)
+        nom = leakage_scale(1.0, 25.0)
+        high = leakage_scale(1.1, 25.0)
+        assert low < nom == 1.0 < high
+        assert high / nom == pytest.approx(nom / low, rel=1e-6)
+
+    def test_leakage_exponential_temperature(self):
+        cold = leakage_scale(1.0, 25.0)
+        hot = leakage_scale(1.0, 75.0)
+        assert hot / cold == pytest.approx(
+            pow(2.718281828, 0.016 * 50), rel=1e-3
+        )
+
+    def test_leakage_clamped(self):
+        assert leakage_scale(1.0, 1e6) < float("inf")
+
+    def test_static_power_split(self):
+        vdd_w, vcs_w = static_power_w(1.0, 1.05, 25.0)
+        total = vdd_w + vcs_w
+        assert total == pytest.approx(
+            DEFAULT_CALIBRATION.static_total_w, rel=1e-6
+        )
+        assert vdd_w > vcs_w  # core leakage dominates
+
+    def test_static_scales_with_persona(self):
+        nom = sum(static_power_w(1.0, 1.05, 25.0, TYPICAL))
+        leaky = sum(static_power_w(1.0, 1.05, 25.0, CHIP1))
+        assert leaky == pytest.approx(nom * CHIP1.leak, rel=1e-6)
+
+    def test_clock_power_cv2f(self):
+        base = sum(clock_power_w(1.0, 1.05, 500e6))
+        double_f = sum(clock_power_w(1.0, 1.05, 1000e6))
+        assert double_f == pytest.approx(2 * base, rel=1e-6)
+        higher_v = sum(clock_power_w(1.2, 1.25, 500e6))
+        assert higher_v > base * 1.3  # ~V^2
+
+    def test_fmax_anchor(self):
+        assert fmax_hz(1.0) == pytest.approx(514.33e6, rel=1e-6)
+
+    def test_fmax_below_vth_is_zero(self):
+        assert fmax_hz(0.4) == 0.0
+
+    def test_fmax_monotonic(self):
+        freqs = [fmax_hz(v) for v in (0.8, 0.9, 1.0, 1.1, 1.2)]
+        assert freqs == sorted(freqs)
+
+    def test_fmax_scales_with_speed(self):
+        assert fmax_hz(1.0, CHIP1) == pytest.approx(
+            CHIP1.speed * fmax_hz(1.0), rel=1e-9
+        )
+
+
+class TestChipPowerModel:
+    def setup_method(self):
+        self.model = ChipPowerModel(CHIP2)
+        self.op = OperatingPoint()
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(freq_hz=0)
+        with pytest.raises(ValueError):
+            OperatingPoint(vdd=-1)
+
+    def test_idle_above_static(self):
+        static = self.model.static_power(self.op)
+        idle = self.model.idle_power(self.op)
+        assert idle.total_w > static.total_w
+
+    def test_event_power_additive(self):
+        a, b, both = EventLedger(), EventLedger(), EventLedger()
+        a.record("instr.int_add", 100)
+        b.record("l1d.read", 50)
+        both.record("instr.int_add", 100)
+        both.record("l1d.read", 50)
+        pa = self.model.event_power(a, 1000, self.op).total_w
+        pb = self.model.event_power(b, 1000, self.op).total_w
+        pboth = self.model.event_power(both, 1000, self.op).total_w
+        assert pboth == pytest.approx(pa + pb, rel=1e-9)
+
+    def test_event_power_nonnegative(self):
+        ledger = EventLedger()
+        ledger.record("instr.nop", 10)
+        power = self.model.event_power(ledger, 100, self.op)
+        assert power.vdd_w >= 0 and power.vcs_w >= 0 and power.vio_w >= 0
+
+    def test_activity_raises_energy(self):
+        lo, hi = EventLedger(), EventLedger()
+        lo.record("instr.int_add", 100, activity=0.0)
+        hi.record("instr.int_add", 100, activity=1.0)
+        assert (
+            self.model.event_power(hi, 100, self.op).total_w
+            > self.model.event_power(lo, 100, self.op).total_w
+        )
+
+    def test_voltage_scaling_quadratic(self):
+        ledger = EventLedger()
+        ledger.record("instr.int_add", 1000)
+        low = self.model.event_power(
+            ledger, 100, OperatingPoint(vdd=0.8, vcs=0.85)
+        )
+        nom = self.model.event_power(ledger, 100, self.op)
+        assert low.vdd_w / nom.vdd_w == pytest.approx(0.64, rel=1e-6)
+
+    def test_io_events_on_vio(self):
+        ledger = EventLedger()
+        ledger.record("io.beat", 100)
+        power = self.model.event_power(ledger, 100, self.op)
+        assert power.vio_w > 0 and power.vdd_w == 0
+
+    def test_unknown_events_reported(self):
+        ledger = EventLedger()
+        ledger.record("mystery.event", 1)
+        assert self.model.unknown_events(ledger) == ["mystery.event"]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            self.model.event_power(EventLedger(), 0, self.op)
+
+    def test_rail_power_arithmetic(self):
+        p = RailPower(1.0, 0.5, 0.1) + RailPower(1.0, 0.5, 0.1)
+        assert p.total_w == pytest.approx(3.2)
+        assert p.core_w == pytest.approx(3.0)
+
+
+class TestVfCurve:
+    def test_chip2_anchor(self):
+        point = VfCurve(CHIP2).boot_frequency(1.0)
+        assert point.fmax_hz == pytest.approx(514.33e6, rel=0.02)
+
+    def test_quantized_to_grid(self):
+        point = VfCurve(CHIP2).boot_frequency(0.9)
+        steps = point.fmax_hz / FREQ_STEP_HZ
+        assert steps == pytest.approx(round(steps), abs=1e-6)
+
+    def test_chip1_fastest_at_low_voltage(self):
+        f1 = VfCurve(CHIP1).boot_frequency(0.85).fmax_hz
+        f2 = VfCurve(CHIP2).boot_frequency(0.85).fmax_hz
+        f3 = VfCurve(CHIP3).boot_frequency(0.85).fmax_hz
+        assert f1 > f2 >= f3
+
+    def test_chip1_thermally_limited_at_high_voltage(self):
+        point = VfCurve(CHIP1).boot_frequency(1.20)
+        assert point.thermally_limited
+        # The droop: slower than at 1.15V.
+        at_115 = VfCurve(CHIP1).boot_frequency(1.15)
+        assert point.fmax_hz < at_115.fmax_hz
+
+    def test_chip3_unconstrained_at_high_voltage(self):
+        point = VfCurve(CHIP3).boot_frequency(1.20)
+        assert not point.thermally_limited
+
+    def test_sweep_shapes(self):
+        points = VfCurve(CHIP2).sweep([0.8, 1.0, 1.1])
+        freqs = [p.fmax_hz for p in points]
+        assert freqs == sorted(freqs)
+
+
+class TestEpiMethodology:
+    def test_paper_equation(self):
+        """EPI = (1/25) x (P_inst - P_idle)/f x L, verified on round
+        numbers."""
+        p_inst = Measurement(3.0)
+        p_idle = Measurement(2.0)
+        epi = energy_per_instruction(p_inst, p_idle, 500e6, 10, cores=25)
+        assert epi.value == pytest.approx(1.0 / 25 / 500e6 * 10)
+
+    def test_error_propagation(self):
+        epi = energy_per_instruction(
+            Measurement(3.0, 0.3), Measurement(2.0, 0.4), 1e9, 1, 1
+        )
+        assert epi.sigma == pytest.approx(0.5e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_per_instruction(Measurement(1), Measurement(0), 0, 1)
+        with pytest.raises(ValueError):
+            energy_per_instruction(Measurement(1), Measurement(0), 1, 0)
+
+    def test_filler_subtraction(self):
+        """The stx (NF) correction: 9 nops removed."""
+        total = Measurement(10.0)
+        nop = Measurement(0.5)
+        corrected = subtract_filler_energy(total, nop, 9)
+        assert corrected.value == pytest.approx(5.5)
+
+    def test_epf_paper_equation(self):
+        """EPF = (47/7) x (P_hop - P_base)/f."""
+        epf = energy_per_flit(
+            Measurement(2.1), Measurement(2.0), 500e6
+        )
+        assert epf.value == pytest.approx(0.1 * 47 / 7 / 500e6)
+
+    def test_trendline(self):
+        slope, intercept = pj_per_hop_trendline(
+            [0, 1, 2], [1.0, 3.0, 5.0]
+        )
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_trendline_validation(self):
+        with pytest.raises(ValueError):
+            pj_per_hop_trendline([1], [1.0])
+        with pytest.raises(ValueError):
+            pj_per_hop_trendline([1, 1], [1.0, 2.0])
+
+
+class TestAnchorsReproduced:
+    """The Table V anchors must come back out of the measured system."""
+
+    def test_chip2_static_and_idle(self, shared_system):
+        static = shared_system.measure_static().core
+        idle = shared_system.measure_idle().core
+        assert static.value == pytest.approx(0.3893, rel=0.02)
+        assert idle.value == pytest.approx(2.0153, rel=0.02)
+
+    def test_chip3_static_and_idle(self):
+        from repro.system import PitonSystem
+
+        system = PitonSystem.default(persona=CHIP3, seed=1)
+        assert system.measure_static().core.value == pytest.approx(
+            0.3648, rel=0.02
+        )
+        assert system.measure_idle().core.value == pytest.approx(
+            1.9062, rel=0.02
+        )

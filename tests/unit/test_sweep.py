@@ -1,0 +1,52 @@
+"""Unit tests for the generic operating-point sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import SweepPoint, sweep, voltage_grid
+from repro.silicon.variation import CHIP1, CHIP2
+from repro.workloads.microbench import int_tile
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep(
+        voltage_grid([0.85, 1.05], personas=[CHIP2]),
+        lambda tile: int_tile(),
+        tiles=(0,),
+        warmup_cycles=500,
+        window_cycles=1_500,
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, small_sweep):
+        assert len(small_sweep.records) == 2
+
+    def test_idle_grows_with_voltage(self, small_sweep):
+        idles = small_sweep.column("idle_core_mw")
+        assert idles[1] > idles[0]
+
+    def test_energy_per_instr_quadraticish(self, small_sweep):
+        energies = small_sweep.column("energy_per_instr_pj")
+        # Activity energy scales ~V^2: (1.05/0.85)^2 ~ 1.53.
+        assert energies[1] / energies[0] == pytest.approx(1.53, rel=0.2)
+
+    def test_explicit_frequency_respected(self):
+        point = SweepPoint(persona=CHIP2, vdd=1.0, freq_hz=123e6)
+        assert point.resolved_freq_hz() == 123e6
+
+    def test_fmax_resolution_uses_persona(self):
+        fast = SweepPoint(persona=CHIP1, vdd=1.0).resolved_freq_hz()
+        typ = SweepPoint(persona=CHIP2, vdd=1.0).resolved_freq_hz()
+        assert fast > typ
+
+    def test_render(self, small_sweep):
+        text = small_sweep.render()
+        assert "persona" in text and "chip2" in text
+
+    def test_voltage_grid_order(self):
+        grid = voltage_grid([0.8, 0.9], personas=[CHIP2, CHIP1])
+        assert len(grid) == 4
+        assert grid[0].persona is CHIP2 and grid[-1].persona is CHIP1

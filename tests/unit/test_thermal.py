@@ -1,0 +1,167 @@
+"""Unit tests for repro.thermal: RC network, cooling stacks, feedback."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.thermal.cooling import (
+    NO_HEATSINK,
+    STOCK_HEATSINK_FAN,
+    fan_angle_resistance,
+    no_heatsink_at_angle,
+)
+from repro.thermal.feedback import PowerTemperatureSimulator
+from repro.thermal.rc_network import RcStage, ThermalNetwork
+
+
+class TestRcNetwork:
+    def make(self, ambient=25.0):
+        return ThermalNetwork(
+            [RcStage("die", 1.0, 0.5), RcStage("pkg", 9.0, 5.0)],
+            ambient_c=ambient,
+        )
+
+    def test_steady_state_analytic(self):
+        net = self.make()
+        temps = net.steady_state(2.0)
+        # All power flows through both resistances.
+        assert temps[0] == pytest.approx(25.0 + 2.0 * 10.0)
+        assert temps[1] == pytest.approx(25.0 + 2.0 * 9.0)
+
+    def test_settle(self):
+        net = self.make()
+        net.settle(1.0)
+        assert net.die_temp_c == pytest.approx(35.0)
+
+    def test_step_converges_to_steady_state(self):
+        net = self.make()
+        for _ in range(4000):
+            net.step(2.0, dt_s=0.1)
+        assert net.die_temp_c == pytest.approx(45.0, abs=0.3)
+
+    def test_step_monotonic_heating(self):
+        net = self.make()
+        temps = [net.step(3.0, 0.5) for _ in range(20)]
+        assert temps == sorted(temps)
+
+    def test_cooling_decays(self):
+        net = self.make()
+        net.settle(3.0)
+        hot = net.die_temp_c
+        net.step(0.0, 5.0)
+        assert net.die_temp_c < hot
+
+    def test_total_resistance(self):
+        assert self.make().total_resistance == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalNetwork([])
+        with pytest.raises(ValueError):
+            RcStage("x", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            self.make().step(1.0, 0.0)
+
+    def test_tau(self):
+        assert RcStage("x", 2.0, 3.0).tau_s == pytest.approx(6.0)
+
+
+class TestCooling:
+    def test_stock_r_ja_matches_calibration(self):
+        from repro.power.calibration import DEFAULT_CALIBRATION
+
+        assert STOCK_HEATSINK_FAN.r_ja == pytest.approx(
+            DEFAULT_CALIBRATION.r_theta_ja
+        )
+
+    def test_no_heatsink_worse(self):
+        assert NO_HEATSINK.r_ja > STOCK_HEATSINK_FAN.r_ja
+
+    def test_fan_angle_monotonic(self):
+        values = [fan_angle_resistance(a) for a in range(0, 91, 10)]
+        assert values == sorted(values)
+
+    def test_fan_angle_bounds(self):
+        with pytest.raises(ValueError):
+            fan_angle_resistance(-1)
+        with pytest.raises(ValueError):
+            fan_angle_resistance(91)
+
+    def test_angle_stack(self):
+        mild = no_heatsink_at_angle(0.0)
+        harsh = no_heatsink_at_angle(90.0)
+        assert harsh.r_ja > mild.r_ja
+        assert mild.ambient_c == 20.0  # Section IV-J room temperature
+
+
+class TestFeedback:
+    @staticmethod
+    def leaky_power(die_temp: float, _t: float) -> float:
+        """0.5 W + exponential leakage."""
+        return 0.5 + 0.2 * math.exp(0.016 * (die_temp - 25.0))
+
+    def test_settle_fixed_point(self):
+        sim = PowerTemperatureSimulator(STOCK_HEATSINK_FAN)
+        temp = sim.settle(self.leaky_power)
+        power = self.leaky_power(temp, 0.0)
+        expected = STOCK_HEATSINK_FAN.ambient_c + (
+            STOCK_HEATSINK_FAN.r_ja * power
+        )
+        assert temp == pytest.approx(expected, abs=0.1)
+
+    def test_run_produces_samples(self):
+        sim = PowerTemperatureSimulator(STOCK_HEATSINK_FAN)
+        sim.settle(self.leaky_power)
+        samples = sim.run(self.leaky_power, duration_s=5.0, dt_s=0.5)
+        assert len(samples) == 10
+        assert samples[-1].time_s == pytest.approx(5.0)
+
+    def test_phase_change_drags_temperature(self):
+        """Power steps up instantly; temperature follows slowly."""
+        sim = PowerTemperatureSimulator(STOCK_HEATSINK_FAN)
+        sim.settle(lambda temp, t: 1.0)
+
+        def stepped(die_temp: float, t: float) -> float:
+            return 1.0 if t < 1.0 else 3.0
+
+        samples = sim.run(stepped, duration_s=8.0, dt_s=0.25)
+        jump = next(s for s in samples if s.power_w == 3.0)
+        final = samples[-1]
+        # Right after the step the die is still near the old point.
+        assert jump.die_temp_c < final.die_temp_c
+
+    def test_hysteresis_area_positive_for_cycling(self):
+        sim = PowerTemperatureSimulator(NO_HEATSINK)
+        period = 20.0
+
+        def square(die_temp: float, t: float) -> float:
+            return 1.2 if (t % period) < period / 2 else 0.6
+
+        sim.settle(lambda temp, t: 0.9)
+        samples = sim.run(square, duration_s=60.0, dt_s=0.25)
+        area = PowerTemperatureSimulator.hysteresis_area(samples[80:])
+        assert area > 0.0
+
+    def test_smaller_swing_smaller_loop(self):
+        def make(swing: float):
+            sim = PowerTemperatureSimulator(NO_HEATSINK)
+            sim.settle(lambda temp, t: 1.0)
+
+            def fn(die_temp: float, t: float, swing=swing) -> float:
+                return 1.0 + (swing if (t % 20) < 10 else -swing)
+
+            return PowerTemperatureSimulator.hysteresis_area(
+                sim.run(fn, 60.0, 0.25)[80:]
+            )
+
+        assert make(0.5) > make(0.1)
+
+    def test_run_validation(self):
+        sim = PowerTemperatureSimulator(NO_HEATSINK)
+        with pytest.raises(ValueError):
+            sim.run(self.leaky_power, duration_s=0, dt_s=1)
+
+    def test_hysteresis_degenerate(self):
+        assert PowerTemperatureSimulator.hysteresis_area([]) == 0.0

@@ -1,0 +1,165 @@
+"""Unit tests for the tooling layer: disassembler, synthetic workload
+generator, NoC analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_instruction
+from repro.isa.program import Instruction
+from repro.noc.analysis import NocAnalysis
+from repro.noc.flit import Packet
+from repro.noc.mesh import MeshNetwork
+from repro.workloads.synthetic import WorkloadSpec, generate
+
+
+class TestDisassembler:
+    SOURCES = [
+        "nop",
+        "add %r1, %r2, %r3",
+        "and %r1, 255, %r2",
+        "set 42, %r5",
+        "mov %r1, %r2",
+        "ldx [%r4 + 16], %r5",
+        "stx %r5, [%r4 + 0]",
+        "cas [%r4], %r9, %r8",
+        "faddd %f0, %f2, %f4",
+        "loop:\n nop\n bne %r1, loop",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_round_trip(self, source):
+        program = assemble(source)
+        text = disassemble(program)
+        again = assemble(text)
+        assert [str(i) for i in again] == [str(i) for i in program]
+
+    def test_branch_labels_synthesized(self):
+        program = assemble("loop:\n nop\n bne %r1, loop")
+        text = disassemble(program)
+        assert "L0:" in text and "bne %r1, L0" in text
+
+    def test_single_instruction_render(self):
+        instr = Instruction("mulx", rd=3, rs1=1, rs2=2)
+        assert disassemble_instruction(instr) == "mulx %r1, %r2, %r3"
+
+    def test_fp_register_prefix(self):
+        instr = Instruction("fmuld", rd=4, rs1=0, rs2=2)
+        assert disassemble_instruction(instr) == "fmuld %f0, %f2, %f4"
+
+
+class TestSyntheticWorkloads:
+    def test_mix_respected(self):
+        spec = WorkloadSpec(
+            ops_per_iteration=40, load_frac=0.25, store_frac=0.10
+        )
+        gen = generate(spec)
+        assert gen.static_mix.get("ldx", 0) == 10
+        assert gen.static_mix.get("stx", 0) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(load_frac=0.8, store_frac=0.4)
+        with pytest.raises(ValueError):
+            WorkloadSpec(activity=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(ops_per_iteration=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(footprint_bytes=8)
+
+    def test_activity_controls_operands(self):
+        lo = generate(WorkloadSpec(activity=0.0))
+        hi = generate(WorkloadSpec(activity=1.0))
+        lo_bits = sum(
+            v.bit_count() for r, v in lo.tile_program.init_regs.items()
+            if r in (8, 9, 10, 11)
+        )
+        hi_bits = sum(
+            v.bit_count() for r, v in hi.tile_program.init_regs.items()
+            if r in (8, 9, 10, 11)
+        )
+        assert lo_bits == 0
+        assert hi_bits == 4 * 64
+
+    def test_programs_validate_and_run(self):
+        from repro.core.multicore import MulticoreEngine
+
+        spec = WorkloadSpec(
+            load_frac=0.2, store_frac=0.1, mul_frac=0.1,
+            branchiness=0.1, seed=3,
+        )
+        gen = generate(spec, tile=0, iterations=5)
+        gen.tile_program.programs[0].validate()
+        engine = MulticoreEngine()
+        engine.add_core(
+            0,
+            gen.tile_program.programs,
+            init_regs=gen.tile_program.init_regs,
+            init_fregs=gen.tile_program.init_fregs,
+        )
+        engine.memory.load_image(gen.tile_program.memory_image)
+        result = engine.run(until_done=True, max_cycles=2_000_000)
+        assert result.completed
+
+    def test_tiles_get_disjoint_footprints(self):
+        spec = WorkloadSpec(load_frac=0.2)
+        a = generate(spec, tile=0)
+        b = generate(spec, tile=1)
+        a_addrs = set(a.tile_program.memory_image)
+        b_addrs = set(b.tile_program.memory_image)
+        assert not (a_addrs & b_addrs)
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(load_frac=0.3, seed=9)
+        assert (
+            generate(spec).static_mix == generate(spec).static_mix
+        )
+
+
+class TestNocAnalysis:
+    def make_loaded_mesh(self):
+        mesh = MeshNetwork()
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            src = int(rng.integers(25))
+            dst = int(rng.integers(25))
+            mesh.inject(Packet.build(dst, [1, 2]), src)
+        mesh.drain()
+        return mesh
+
+    def test_link_counts_conserved(self):
+        mesh = self.make_loaded_mesh()
+        analysis = NocAnalysis(mesh)
+        assert (
+            sum(load.flits for load in analysis.link_loads())
+            == mesh.total_flit_hops
+        )
+
+    def test_hottest_link(self):
+        mesh = self.make_loaded_mesh()
+        analysis = NocAnalysis(mesh)
+        hottest = analysis.hottest_link()
+        assert hottest is not None
+        assert hottest.flits == max(
+            load.flits for load in analysis.link_loads()
+        )
+
+    def test_utilization_bounds(self):
+        mesh = self.make_loaded_mesh()
+        util = NocAnalysis(mesh).utilization()
+        assert 0.0 < util < 1.0
+
+    def test_idle_mesh(self):
+        mesh = MeshNetwork()
+        analysis = NocAnalysis(mesh)
+        assert analysis.hottest_link() is None
+        assert analysis.utilization() == 0.0
+        assert "peak 0" in analysis.heatmap()
+
+    def test_heatmap_shape(self):
+        mesh = self.make_loaded_mesh()
+        lines = NocAnalysis(mesh).heatmap().splitlines()
+        assert len(lines) == 1 + 5  # legend + 5 grid rows
+        assert all(len(line) == 10 for line in lines[1:])

@@ -1,0 +1,307 @@
+"""Unit tests for repro.workloads: EPI tests, memory tests, NoC
+streams, microbenchmarks, phases, SPEC profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.floorplan import Floorplan
+from repro.arch.params import PitonConfig
+from repro.cache.addressing import AddressMap
+from repro.isa.operands import OperandPolicy
+from repro.workloads.base import TileProgram, normalize_workload
+from repro.workloads.epi_tests import (
+    FIGURE11_INSTRUCTIONS,
+    STX_NOP_PAD,
+    UNROLL,
+    build_epi_workload,
+    build_named_epi_workload,
+    has_operand_sweep,
+)
+from repro.workloads.memtests import SCENARIOS, build_memtest
+from repro.workloads.microbench import (
+    hist_program,
+    hist_workload,
+    hp_mixed_program,
+    hp_thread_mapping,
+    hp_tile,
+    int_program,
+    microbench_core_ids,
+)
+from repro.workloads.noc_tests import (
+    PATTERNS,
+    payload_words,
+    run_noc_stream,
+)
+from repro.workloads.phases import (
+    interleaved_schedule,
+    phase_tile,
+    synchronized_schedule,
+)
+from repro.workloads.spec import SPEC_PROFILES, replay_ledger
+
+
+class TestWorkloadBase:
+    def test_tile_program_validation(self):
+        with pytest.raises(ValueError):
+            TileProgram(programs=[])
+
+    def test_normalize_accepts_lists(self):
+        from repro.isa.assembler import assemble
+
+        program = assemble("nop")
+        normalized = normalize_workload({0: [program]})
+        assert isinstance(normalized[0], TileProgram)
+
+
+class TestEpiTests:
+    def test_unrolled_by_20(self):
+        test, tp = build_epi_workload("add", OperandPolicy.RANDOM, 0)
+        mix = tp.programs[0].instruction_mix()
+        assert mix["add"] == UNROLL
+        assert mix["bne"] == 1  # the loop-back branch
+
+    def test_min_operands_are_zero(self):
+        _, tp = build_epi_workload("add", OperandPolicy.MINIMUM, 0)
+        assert all(v == 0 for r, v in tp.init_regs.items() if 8 <= r <= 15)
+
+    def test_max_operands_all_ones(self):
+        _, tp = build_epi_workload("add", OperandPolicy.MAXIMUM, 0)
+        assert tp.init_regs[8] == (1 << 64) - 1
+
+    def test_sdivx_nonzero_divisors(self):
+        _, tp = build_epi_workload("sdivx", OperandPolicy.RANDOM, 0)
+        for reg in (9, 11, 13, 15):
+            assert tp.init_regs[reg] % 2 == 1
+
+    def test_stx_nf_has_nop_padding(self):
+        test, tp = build_named_epi_workload(
+            "stx_nf", OperandPolicy.RANDOM, 0
+        )
+        mix = tp.programs[0].instruction_mix()
+        assert test.fillers_per_target == STX_NOP_PAD
+        assert mix["nop"] == UNROLL * STX_NOP_PAD
+
+    def test_stx_f_back_to_back(self):
+        test, tp = build_named_epi_workload(
+            "stx_f", OperandPolicy.RANDOM, 0
+        )
+        mix = tp.programs[0].instruction_mix()
+        assert "nop" not in mix
+        assert test.fillers_per_target == 0
+
+    def test_store_addresses_private_per_tile(self):
+        _, tp0 = build_epi_workload("stx", OperandPolicy.RANDOM, 0)
+        _, tp9 = build_epi_workload("stx", OperandPolicy.RANDOM, 9)
+        assert tp0.init_regs[4] != tp9.init_regs[4]
+
+    def test_load_memory_image(self):
+        _, tp = build_epi_workload("ldx", OperandPolicy.MAXIMUM, 0)
+        assert len(tp.memory_image) == UNROLL
+        assert all(v == (1 << 64) - 1 for v in tp.memory_image.values())
+
+    def test_fp_tests_set_fregs(self):
+        _, tp = build_epi_workload("fmuld", OperandPolicy.RANDOM, 0)
+        assert len(tp.init_fregs) > 0
+
+    def test_figure11_coverage(self):
+        names = [n for n, _ in FIGURE11_INSTRUCTIONS]
+        assert "sdivx" in names and "stx_f" in names
+        assert len(names) == 16  # the 16 bars of Figure 11
+
+    def test_operand_sweep_exclusions(self):
+        assert not has_operand_sweep("nop")
+        assert not has_operand_sweep("beq")
+        assert has_operand_sweep("mulx")
+
+    def test_all_figure11_workloads_assemble(self):
+        for name, _ in FIGURE11_INSTRUCTIONS:
+            for policy in OperandPolicy:
+                test, tp = build_named_epi_workload(name, policy, 3)
+                tp.programs[0].validate()
+
+
+class TestMemTests:
+    def test_l1_hit_addresses_distinct_lines(self, config):
+        mt = build_memtest("l1_hit", 0, config)
+        lines = {a // 16 for a in mt.addresses}
+        assert len(lines) == UNROLL
+
+    def test_l2_local_same_l1_set_same_home(self, config):
+        mt = build_memtest("l2_hit_local", 3, config)
+        amap = AddressMap(config)
+        sets = {(a // 16) % config.l1d.num_sets for a in mt.addresses}
+        assert len(sets) == 1
+        assert all(amap.home_tile(a) == 3 for a in mt.addresses)
+        assert mt.home_tile == 3 and mt.hops == 0
+
+    def test_remote_4_hops_straight(self, config):
+        mt = build_memtest("l2_hit_remote_4", 0, config)
+        fp = Floorplan(config)
+        assert fp.hops(0, mt.home_tile) == 4
+        assert not fp.has_turn(0, mt.home_tile)
+
+    def test_remote_8_hops_turns(self, config):
+        mt = build_memtest("l2_hit_remote_8", 0, config)
+        fp = Floorplan(config)
+        assert fp.hops(0, mt.home_tile) == 8
+        assert fp.has_turn(0, mt.home_tile)
+
+    def test_l2_miss_same_l2_set(self, config):
+        mt = build_memtest("l2_miss_local", 0, config)
+        sets = {
+            (a // 64) % config.l2_slice.num_sets for a in mt.addresses
+        }
+        assert len(sets) == 1  # all alias one 4-way set -> always miss
+
+    def test_unknown_scenario(self, config):
+        with pytest.raises(ValueError):
+            build_memtest("l3_hit", 0, config)
+
+    def test_scenarios_cover_table7(self):
+        assert len(SCENARIOS) == 5
+
+
+class TestNocStreams:
+    def test_patterns_alternate(self):
+        hsw = payload_words("HSW", 0)
+        assert hsw[0] == 0x3333333333333333 and hsw[1] == 0
+
+    def test_pattern_phase_continues_across_packets(self):
+        first = payload_words("FSW", 0)
+        second = payload_words("FSW", 1)
+        # The alternation carries across the packet boundary: the last
+        # payload of one packet differs from the first of the next.
+        assert first[-1] != second[0]
+        assert all(a != b for a, b in zip(second, second[1:]))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            payload_words("XSW", 0)
+
+    def test_stream_delivers_everything(self):
+        run = run_noc_stream("HSW", hops=4, packets=10)
+        assert run.packets_delivered == 10
+        assert run.flits_injected == 70
+
+    def test_zero_hop_no_flit_hops(self):
+        run = run_noc_stream("FSW", hops=0, packets=5)
+        assert run.ledger.count("noc2.flit_hop") == 0
+
+    def test_hops_scale_flit_hops(self):
+        r2 = run_noc_stream("FSW", hops=2, packets=10)
+        r4 = run_noc_stream("FSW", hops=4, packets=10)
+        assert r4.ledger.count("noc2.flit_hop") == pytest.approx(
+            2 * r2.ledger.count("noc2.flit_hop")
+        )
+
+    def test_activity_ordering(self):
+        activities = {}
+        for pattern in PATTERNS:
+            run = run_noc_stream(pattern, hops=4, packets=20)
+            activities[pattern] = run.ledger.mean_activity(
+                "noc2.flit_hop"
+            )
+        assert activities["NSW"] < activities["HSW"] < activities["FSW"]
+        assert activities["FSWA"] == pytest.approx(
+            activities["FSW"], abs=0.05
+        )
+
+    def test_all_patterns_defined(self):
+        assert PATTERNS == ("NSW", "HSW", "FSW", "FSWA")
+
+
+class TestMicrobench:
+    def test_int_program_infinite_and_finite(self):
+        infinite = int_program()
+        finite = int_program(10)
+        assert "set" not in infinite.instruction_mix()
+        assert finite.instruction_mix()["set"] == 1
+
+    def test_hp_mapping_1tc_alternates(self):
+        mapping = hp_thread_mapping([0, 1, 2, 3], 1)
+        kinds = [mapping[c][0] for c in (0, 1, 2, 3)]
+        assert kinds == ["compute", "mixed", "compute", "mixed"]
+
+    def test_hp_mapping_2tc_one_of_each(self):
+        mapping = hp_thread_mapping([0, 1], 2)
+        assert all(v == ["compute", "mixed"] for v in mapping.values())
+
+    def test_hp_mixed_has_memory_ops(self):
+        mix = hp_mixed_program().instruction_mix()
+        assert mix.get("ldx", 0) >= 1 and mix.get("stx", 0) >= 1
+
+    def test_hp_tile_unknown_kind(self):
+        with pytest.raises(ValueError):
+            hp_tile(["turbo"], 0)
+
+    def test_hist_constant_total_work(self):
+        few = hist_workload([0, 1], 1, total_elements=1024)
+        many = hist_workload(list(range(8)), 2, total_elements=1024)
+        assert few.total_elements == many.total_elements == 1024
+        assert many.elements_per_thread < few.elements_per_thread
+
+    def test_hist_program_structure(self):
+        program = hist_program(0x1000, 4, repeat_forever=False)
+        mix = program.instruction_mix()
+        assert mix["cas"] == 1
+        assert mix["stx"] == 2  # bucket update + lock release
+
+    def test_core_ids_validation(self):
+        assert microbench_core_ids(3) == [0, 1, 2]
+        with pytest.raises(ValueError):
+            microbench_core_ids(26)
+
+
+class TestPhases:
+    def test_tiles(self):
+        compute = phase_tile("compute")
+        idle = phase_tile("idle")
+        assert len(compute.programs) == 2
+        assert "nop" in idle.programs[0].instruction_mix()
+        with pytest.raises(ValueError):
+            phase_tile("sleep")
+
+    def test_synchronized_swings_fully(self):
+        s = synchronized_schedule(period_s=10.0)
+        assert s.compute_threads_at(1.0) == 50
+        assert s.compute_threads_at(6.0) == 0
+
+    def test_interleaved_stays_balanced(self):
+        s = interleaved_schedule(period_s=10.0)
+        assert s.compute_threads_at(1.0) == 26
+        assert s.compute_threads_at(6.0) == 24
+
+
+class TestSpecProfiles:
+    def test_all_table9_rows_present(self):
+        assert len(SPEC_PROFILES) == 13
+
+    def test_slowdowns_in_paper_band(self):
+        for profile in SPEC_PROFILES.values():
+            assert 3.0 <= profile.slowdown() <= 10.1, profile.name
+
+    def test_omnetpp_worst(self):
+        slowdowns = {
+            name: p.slowdown() for name, p in SPEC_PROFILES.items()
+        }
+        assert max(slowdowns, key=slowdowns.get) == "omnetpp"
+
+    def test_replay_ledger_consistency(self):
+        profile = SPEC_PROFILES["gcc-166"]
+        ledger, cycles = replay_ledger(profile)
+        n = profile.instructions
+        assert ledger.count("core.fetch") == pytest.approx(n)
+        assert cycles == pytest.approx(n * profile.piton_cpi())
+        # Loads recorded match the profile mix.
+        assert ledger.count("instr.load") == pytest.approx(
+            n * profile.load_frac
+        )
+
+    def test_replay_events_all_priced(self):
+        from repro.power.chip_power import ChipPowerModel
+
+        model = ChipPowerModel()
+        for profile in SPEC_PROFILES.values():
+            ledger, _ = replay_ledger(profile)
+            assert model.unknown_events(ledger) == []
