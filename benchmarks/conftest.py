@@ -4,10 +4,16 @@ Each benchmark runs its experiment at full fidelity (the quick flags
 off), times it with pytest-benchmark, prints the reproduced rows, and
 writes them to ``results/<experiment>.txt`` so EXPERIMENTS.md can be
 regenerated from a benchmark run.
+
+Set ``REPRO_BENCH_JOBS=N`` to fan each experiment's simulations across
+N worker processes (experiments that support ``jobs``); reproduced
+numbers are identical either way, only the wall-clock changes.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
 from pathlib import Path
 
 import pytest
@@ -57,6 +63,9 @@ def record_result(results_dir):
 
 def run_once(benchmark, func, *args, **kwargs):
     """Time exactly one full execution of an experiment."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if jobs > 1 and "jobs" in inspect.signature(func).parameters:
+        kwargs.setdefault("jobs", jobs)
     return benchmark.pedantic(
         func, args=args, kwargs=kwargs, rounds=1, iterations=1
     )

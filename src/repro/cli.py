@@ -12,6 +12,7 @@ Subcommands mirror what a user of the real bench would do:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -47,8 +48,18 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     runner = get_experiment(args.experiment)
+    kwargs = {"quick": args.quick}
+    jobs = getattr(args, "jobs", 1)
+    if "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = jobs
+    elif jobs > 1:
+        print(
+            f"note: {args.experiment} does not simulate per-point "
+            "workloads; --jobs ignored",
+            file=sys.stderr,
+        )
     start = time.perf_counter()
-    result = runner(quick=args.quick)
+    result = runner(**kwargs)
     print(result.render())
     print(f"\n[{args.experiment}: {time.perf_counter() - start:.1f}s]")
     return 0
@@ -107,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--quick", action="store_true")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation fan-out (results "
+        "are identical for any value; default 1 = serial)",
+    )
     run.set_defaults(func=cmd_run)
 
     measure = sub.add_parser(

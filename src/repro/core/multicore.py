@@ -140,38 +140,53 @@ class MulticoreEngine:
         start_instrs = self.total_instructions
         deadline = None if cycles is None else self.now + cycles
         cores = list(self.cores.values())
+        active = [c for c in cores if not c.done]
+        far_future = 1 << 62
+        ff_stall_events = 0
 
-        while True:
-            active = [c for c in cores if not c.done]
-            if not active:
-                break
-            if deadline is not None and self.now >= deadline:
-                break
-            if self.now - start_cycle >= max_cycles:
-                raise RuntimeError(
-                    f"workload did not finish within {max_cycles} cycles"
-                )
-            for core in active:
-                core.step(self.now)
-            still_active = [c for c in active if not c.done]
-            if not still_active:
-                self.now += 1
-                break
-            # Fast-forward across globally idle cycles; the skipped
-            # cycles are stall cycles for every still-active core.
-            next_now = min(c.next_event_cycle(self.now) for c in still_active)
-            if deadline is not None:
-                next_now = min(next_now, deadline)
-            skipped = next_now - self.now - 1
-            if skipped > 0:
+        try:
+            while active:
+                now = self.now
+                if deadline is not None and now >= deadline:
+                    break
+                if now - start_cycle >= max_cycles:
+                    raise RuntimeError(
+                        f"workload did not finish within {max_cycles} cycles"
+                    )
+                # Step every active core; each step returns the core's
+                # next-event cycle so the fast-forward target needs no
+                # second scan over threads and store buffers.
+                next_now = far_future
+                finished = False
                 for core in active:
-                    if not core.done:
+                    next_event = core.step(now)
+                    if core.done:
+                        finished = True
+                    elif next_event < next_now:
+                        next_now = next_event
+                if finished:
+                    active = [c for c in active if not c.done]
+                    if not active:
+                        self.now = now + 1
+                        break
+                if deadline is not None and next_now > deadline:
+                    next_now = deadline
+                skipped = next_now - now - 1
+                if skipped > 0:
+                    # Fast-forward across globally idle cycles; the
+                    # skipped cycles are stall cycles for every core
+                    # that is still active (cores that finished this
+                    # cycle accrue neither stats nor ledger stalls).
+                    for core in active:
                         core.stats.cycles += skipped
                         core.stats.stall_cycles += skipped
-                self.ledger.record(
-                    "core.stall_cycle", skipped * len(active)
-                )
-            self.now = max(next_now, self.now + 1)
+                    ff_stall_events += skipped * len(active)
+                self.now = next_now if next_now > now + 1 else now + 1
+        finally:
+            if ff_stall_events:
+                self.ledger.record("core.stall_cycle", ff_stall_events)
+            for core in cores:
+                core.flush_events()
 
         return RunResult(
             cycles=self.now - start_cycle,

@@ -12,6 +12,14 @@ Timing rules (all from the paper / OpenSPARC T1 documentation):
   buffer forces a roll-back and replay (``stx (F)``);
 * the store buffer drains serially at the 10-cycle ``stx`` latency and
   performs the real (coherent) L1.5 write at drain time.
+
+Hot-loop design: the issue loop runs once per core per simulated
+cycle — millions of times per experiment — so it avoids per-event
+string hashing and per-instruction opcode lookups. Core-side energy
+events accumulate in interned integer counters (per instruction class)
+and are folded into the shared :class:`EventLedger` once per engine
+run via :meth:`Core.flush_events`; per-instruction ``OpcodeInfo`` is
+read from the program's precomputed ``infos`` list.
 """
 
 from __future__ import annotations
@@ -23,12 +31,16 @@ from repro.cache.system import CoherentMemorySystem
 from repro.core.semantics import execute
 from repro.core.storebuffer import StoreBuffer, StoreEntry
 from repro.core.thread import ThreadContext
+from repro.isa.instructions import INSTR_EVENT_NAMES, NUM_INSTR_CLASSES
 from repro.isa.program import Program
 from repro.util.events import EventLedger
 
 #: Cycles to refill the pipeline after a speculative-issue roll-back
 #: (the 6-stage depth of the T1 pipeline).
 ROLLBACK_PENALTY = 6
+
+#: Sentinel "never" cycle for cores with no schedulable event.
+_FAR_FUTURE = 1_000_000_000
 
 
 @dataclass
@@ -82,67 +94,127 @@ class Core:
         self.stats = CoreStats()
         self._rr_next = 0
         self._last_issued_thread: int | None = None
+        # Incrementally-maintained completion state: ``done`` flips True
+        # once every thread ran off its program end and the store buffer
+        # drained. The engine reads the flag instead of re-deriving it.
+        self._undone = sum(1 for t in self.threads if not t.done)
+        self.done = self._undone == 0 and self.store_buffer.empty
+        self._reset_event_counters()
+
+    def _reset_event_counters(self) -> None:
+        # Interned event accumulators, flushed by flush_events(). All
+        # of these carry the ledger's default activity except the
+        # per-class instruction counters, which sum real activities.
+        self._issues = 0  # core.active_cycle + core.fetch
+        self._thread_switches = 0
+        self._stall_cycle_events = 0
+        self._rollback_events = 0
+        self._replay_bubbles = 0
+        self._class_counts = [0.0] * NUM_INSTR_CLASSES
+        self._class_weights = [0.0] * NUM_INSTR_CLASSES
 
     # ------------------------------------------------------------------ state
-    @property
-    def done(self) -> bool:
-        return all(t.done for t in self.threads) and self.store_buffer.empty
-
     def next_event_cycle(self, now: int) -> int:
         """Earliest future cycle at which this core can make progress."""
-        candidates = [
-            t.ready_at for t in self.threads if not t.done
-        ]
-        drain = self.store_buffer.next_event_cycle()
-        if drain is not None:
-            candidates.append(drain)
-        if not candidates:
-            return now + 1_000_000_000  # effectively never
-        return max(now + 1, min(candidates))
+        best = None
+        for t in self.threads:
+            if not t.done:
+                r = t.ready_at
+                if best is None or r < best:
+                    best = r
+        drain = self.store_buffer._head_done_at
+        if drain is not None and (best is None or drain < best):
+            best = drain
+        if best is None:
+            return now + _FAR_FUTURE  # effectively never
+        return best if best > now else now + 1
+
+    # ----------------------------------------------------------------- events
+    def flush_events(self) -> None:
+        """Fold the interned event counters into the shared ledger.
+
+        Called once per engine run — the point of accumulating locally
+        is that the hot loop never hashes event-name strings. Exact
+        with respect to per-event recording: all accumulated counts and
+        activity weights are small dyadic rationals, so float addition
+        here is associative (no rounding).
+        """
+        ledger = self.ledger
+        n = self._issues
+        if n:
+            ledger.add_bulk("core.active_cycle", n, n * 0.5)
+            ledger.add_bulk("core.fetch", n, n * 0.5)
+        n = self._thread_switches
+        if n:
+            ledger.add_bulk("core.thread_switch", n, n * 0.5)
+        n = self._stall_cycle_events
+        if n:
+            ledger.add_bulk("core.stall_cycle", n, n * 0.5)
+        n = self._rollback_events
+        if n:
+            ledger.add_bulk("core.rollback", n, n * 0.5)
+        n = self._replay_bubbles
+        if n:
+            ledger.add_bulk("core.replay_bubble", n, n * 0.5)
+        counts = self._class_counts
+        weights = self._class_weights
+        for i in range(NUM_INSTR_CLASSES):
+            if counts[i]:
+                ledger.add_bulk(INSTR_EVENT_NAMES[i], counts[i], weights[i])
+        self._reset_event_counters()
 
     # ------------------------------------------------------------------- step
-    def step(self, now: int) -> None:
-        """Advance one cycle: drain stores, select a thread, issue."""
-        self.stats.cycles += 1
-        self._drain_stores(now)
+    def step(self, now: int) -> int:
+        """Advance one cycle: drain stores, select a thread, issue.
+
+        Returns the core's next-event cycle (its post-step
+        :meth:`next_event_cycle`), which the engine uses to fast-forward
+        globally idle gaps without a second scan over the threads.
+        """
+        stats = self.stats
+        stats.cycles += 1
+        store_buffer = self.store_buffer
+        if (
+            store_buffer._head_done_at is not None
+            and now >= store_buffer._head_done_at
+        ):
+            self._drain_stores(now)
 
         thread = self._select_thread(now)
         if thread is None:
-            if any(not t.done for t in self.threads):
-                self.stats.stall_cycles += 1
-                self.ledger.record("core.stall_cycle")
-            return
+            if self._undone:
+                stats.stall_cycles += 1
+                self._stall_cycle_events += 1
+            elif not self.done and store_buffer.empty:
+                self.done = True
+            return self.next_event_cycle(now)
 
-        instr = thread.program[thread.pc]
-        info = instr.info
+        instr = thread.instructions[thread.pc]
+        info = thread.infos[thread.pc]
 
         # Speculative store issue: detect a full buffer *before* the
         # architectural write, roll back and replay later.
-        if info.is_store and self.store_buffer.full:
+        if info.is_store and store_buffer.full:
             self._rollback(thread, now, kind="store_buffer")
-            return
+            return self.next_event_cycle(now)
 
-        outcome = execute(instr, thread, self.memory)
-        self.stats.issued += 1
+        outcome = execute(instr, thread, self.memory, info)
+        stats.issued += 1
         thread.stats.instructions += 1
-        self.ledger.record("core.active_cycle")
-        self.ledger.record("core.fetch")
-        if (
-            self._last_issued_thread is not None
-            and self._last_issued_thread != thread.thread_id
-        ):
-            self.ledger.record("core.thread_switch")
+        self._issues += 1
+        last = self._last_issued_thread
+        if last is not None and last != thread.thread_id:
+            self._thread_switches += 1
         self._last_issued_thread = thread.thread_id
         drafted = self.execution_drafting and self._draftable(instr)
-        self.ledger.record(
-            f"instr.{info.instr_class.value}",
-            activity=outcome.activity,
-            n=0.5 if drafted else 1.0,
-        )
+        n = 0.5 if drafted else 1.0
+        class_index = info.class_index
+        self._class_counts[class_index] += n
+        self._class_weights[class_index] += n * outcome.activity
 
         if info.is_store:
             thread.stats.stores += 1
-            self.store_buffer.push(
+            store_buffer.push(
                 StoreEntry(outcome.mem_addr, outcome.store_value,
                            thread.thread_id),
                 now,
@@ -152,15 +224,15 @@ class Core:
             thread.stats.loads += 1
             # RAW through the store buffer: a younger buffered store to
             # the same word forwards its value to this load.
-            forwarded = self.store_buffer.forward_value(outcome.mem_addr)
+            forwarded = store_buffer.forward_value(outcome.mem_addr)
             if forwarded is not None:
                 thread.write_int(instr.rd, forwarded)
             mem = self.memsys.load(self.tile_id, outcome.mem_addr, now)
             if mem.level != "l1":
-                self.stats.load_miss_rollbacks += 1
-                self.stats.rollbacks += 1
+                stats.load_miss_rollbacks += 1
+                stats.rollbacks += 1
                 thread.stats.rollbacks += 1
-                self.ledger.record("core.rollback")
+                self._rollback_events += 1
             thread.ready_at = now + mem.latency
         elif outcome.is_atomic:
             mem = self.memsys.atomic(self.tile_id, outcome.mem_addr, now)
@@ -177,6 +249,12 @@ class Core:
         else:
             thread.ready_at = now + info.latency
 
+        if thread.done:
+            self._undone -= 1
+            if self._undone == 0 and store_buffer.empty:
+                self.done = True
+        return self.next_event_cycle(now)
+
     # ------------------------------------------------------------------ parts
     def _drain_stores(self, now: int) -> None:
         entry = self.store_buffer.drain_ready(now)
@@ -186,15 +264,24 @@ class Core:
         self.memory.write(entry.addr, entry.value)
         outcome = self.memsys.store(self.tile_id, entry.addr, now)
         extra = outcome.latency - self.memsys.latency.store_buffer
-        if extra > 0 and self.store_buffer.next_event_cycle() is not None:
+        if extra > 0:
             # Memory backpressure delays the next drain.
-            self.store_buffer._head_done_at += extra
+            self.store_buffer.delay_head(extra)
 
     def _select_thread(self, now: int) -> ThreadContext | None:
-        n = len(self.threads)
+        threads = self.threads
+        n = len(threads)
+        if n == 1:
+            thread = threads[0]
+            if not thread.done and thread.ready_at <= now:
+                return thread
+            return None
+        rr_next = self._rr_next
         for offset in range(n):
-            idx = (self._rr_next + offset) % n
-            thread = self.threads[idx]
+            idx = rr_next + offset
+            if idx >= n:
+                idx -= n
+            thread = threads[idx]
             if not thread.done and thread.ready_at <= now:
                 self._rr_next = (idx + 1) % n
                 return thread
@@ -205,9 +292,9 @@ class Core:
         self.stats.rollbacks += 1
         self.stats.store_buffer_rollbacks += kind == "store_buffer"
         thread.stats.rollbacks += 1
-        self.ledger.record("core.rollback")
+        self._rollback_events += 1
         # The replayed instructions burn fetch/decode energy again.
-        self.ledger.record("core.replay_bubble", ROLLBACK_PENALTY)
+        self._replay_bubbles += ROLLBACK_PENALTY
         thread.ready_at = now + ROLLBACK_PENALTY
 
     def _draftable(self, instr) -> bool:

@@ -2,17 +2,25 @@
 
 Executes one instruction against a thread context and a shared memory,
 returning what the pipeline needs for timing and energy: the effective
-address (for memory ops), branch outcome, and the operand bit patterns
-that drive the activity-factor energy model.
+address (for memory ops), branch outcome, and the operand switching
+activity that drives the activity-factor energy model.
+
+Dispatch is a per-opcode handler table (built once at import) rather
+than an if-chain, and the handlers read the register files directly:
+this module sits directly inside the simulator's issue loop and runs
+once per executed instruction — millions of times per experiment.
+Register reads skip the ``%r0`` guard because nothing ever writes
+``regs[0]`` (``write_int`` refuses index 0), so it is always 0.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import operator
+from dataclasses import dataclass
 
 from repro.core.thread import ThreadContext
 from repro.isa.instructions import WORD_MASK
-from repro.isa.operands import bit_pattern
+from repro.isa.operands import float_bits
 from repro.isa.program import Instruction
 
 
@@ -26,9 +34,14 @@ class SharedMemoryProtocol:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecOutcome:
-    """Result of functionally executing one instruction."""
+    """Result of functionally executing one instruction.
+
+    ``activity`` is the mean datapath activity factor of the source
+    operands (mean set-bit fraction of their 64-bit patterns),
+    precomputed by the handler so the pipeline reads a plain float.
+    """
 
     mem_addr: int | None = None
     is_load: bool = False
@@ -37,15 +50,7 @@ class ExecOutcome:
     store_value: int = 0
     branch_taken: bool | None = None
     branch_target: int | None = None
-    operand_bits: list[int] = field(default_factory=list)
-
-    @property
-    def activity(self) -> float:
-        """Mean datapath activity factor of the source operands."""
-        if not self.operand_bits:
-            return 0.0
-        total = sum(int(b).bit_count() for b in self.operand_bits)
-        return total / (64.0 * len(self.operand_bits))
+    activity: float = 0.0
 
 
 def _sign64(value: int) -> int:
@@ -53,10 +58,195 @@ def _sign64(value: int) -> int:
     return value - (1 << 64) if value >> 63 else value
 
 
+# ------------------------------------------------------------------ handlers
+# Each handler executes one opcode family: updates thread registers and
+# PC, fills ``out``. ``thread.advance()`` is inlined (pc bump + end
+# check) in the hot handlers.
+
+
+def _h_nop(instr, thread, memory, out):
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _h_set(instr, thread, memory, out):
+    rd = instr.rd
+    if rd:
+        thread.regs[rd] = instr.imm & WORD_MASK
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _h_mov(instr, thread, memory, out):
+    regs = thread.regs
+    value = regs[instr.rs1]
+    rd = instr.rd
+    if rd:
+        regs[rd] = value
+    out.activity = value.bit_count() / 64.0
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _make_branch(op: str):
+    taken_on_zero = op == "beq"
+
+    def handler(instr, thread, memory, out):
+        value = thread.regs[instr.rs1]
+        out.activity = value.bit_count() / 64.0
+        taken = (value == 0) if taken_on_zero else (value != 0)
+        out.branch_taken = taken
+        out.branch_target = instr.target
+        if taken:
+            thread.pc = instr.target
+        else:
+            pc = thread.pc + 1
+            thread.pc = pc
+            if pc >= thread.end:
+                thread.done = True
+
+    return handler
+
+
+def _h_ldx(instr, thread, memory, out):
+    addr = (thread.regs[instr.rs1] + (instr.imm or 0)) & WORD_MASK
+    value = memory.read(addr)
+    rd = instr.rd
+    if rd:
+        thread.regs[rd] = value
+    out.mem_addr = addr
+    out.is_load = True
+    out.activity = value.bit_count() / 64.0
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _h_stx(instr, thread, memory, out):
+    regs = thread.regs
+    addr = (regs[instr.rs2] + (instr.imm or 0)) & WORD_MASK
+    value = regs[instr.rs1]
+    out.mem_addr = addr
+    out.is_store = True
+    out.store_value = value
+    out.activity = value.bit_count() / 64.0
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _h_cas(instr, thread, memory, out):
+    regs = thread.regs
+    addr = regs[instr.rs1]
+    compare = regs[instr.rs2]
+    swap = regs[instr.rd]
+    old = memory.read(addr)
+    if old == compare:
+        memory.write(addr, swap)
+    rd = instr.rd
+    if rd:
+        regs[rd] = old
+    out.mem_addr = addr
+    out.is_atomic = True
+    out.activity = (compare.bit_count() + old.bit_count()) / 128.0
+    pc = thread.pc + 1
+    thread.pc = pc
+    if pc >= thread.end:
+        thread.done = True
+
+
+def _make_int(fn):
+    def handler(instr, thread, memory, out):
+        regs = thread.regs
+        a = regs[instr.rs1]
+        rs2 = instr.rs2
+        b = (instr.imm & WORD_MASK) if rs2 is None else regs[rs2]
+        out.activity = (a.bit_count() + b.bit_count()) / 128.0
+        rd = instr.rd
+        if rd:
+            regs[rd] = fn(a, b) & WORD_MASK
+        pc = thread.pc + 1
+        thread.pc = pc
+        if pc >= thread.end:
+            thread.done = True
+
+    return handler
+
+
+def _make_fp(fn):
+    def handler(instr, thread, memory, out):
+        fregs = thread.fregs
+        a = fregs[instr.rs1]
+        b = fregs[instr.rs2]
+        out.activity = (
+            float_bits(a).bit_count() + float_bits(b).bit_count()
+        ) / 128.0
+        fregs[instr.rd] = fn(a, b)
+        pc = thread.pc + 1
+        thread.pc = pc
+        if pc >= thread.end:
+            thread.done = True
+
+    return handler
+
+
+def _sdivx(a: int, b: int) -> int:
+    if b == 0:
+        return WORD_MASK  # SPARC would trap; saturate instead
+    q = abs(_sign64(a)) // abs(_sign64(b))
+    if (_sign64(a) < 0) != (_sign64(b) < 0):
+        q = -q
+    return q
+
+
+def _fp_div(a: float, b: float) -> float:
+    if b == 0.0:
+        return float("inf")
+    return a / b
+
+
+_HANDLERS = {
+    "nop": _h_nop,
+    "set": _h_set,
+    "mov": _h_mov,
+    "beq": _make_branch("beq"),
+    "bne": _make_branch("bne"),
+    "ldx": _h_ldx,
+    "stx": _h_stx,
+    "cas": _h_cas,
+    "add": _make_int(operator.add),
+    "sub": _make_int(operator.sub),
+    "and": _make_int(operator.and_),
+    "or": _make_int(operator.or_),
+    "xor": _make_int(operator.xor),
+    "sll": _make_int(lambda a, b: a << (b & 63)),
+    "srl": _make_int(lambda a, b: a >> (b & 63)),
+    "mulx": _make_int(operator.mul),
+    "sdivx": _make_int(_sdivx),
+    "faddd": _make_fp(operator.add),
+    "fsubd": _make_fp(operator.sub),
+    "fmuld": _make_fp(operator.mul),
+    "fdivd": _make_fp(_fp_div),
+    "fadds": _make_fp(operator.add),
+    "fsubs": _make_fp(operator.sub),
+    "fmuls": _make_fp(operator.mul),
+    "fdivs": _make_fp(_fp_div),
+}
+
+
 def execute(
     instr: Instruction,
     thread: ThreadContext,
     memory: SharedMemoryProtocol,
+    info=None,
 ) -> ExecOutcome:
     """Execute ``instr``, updating ``thread`` registers and PC.
 
@@ -64,131 +254,14 @@ def execute(
     pipeline's job: loads read the architectural memory immediately
     (correct because the coherent system serializes transactions), and
     stores return their value for the store buffer to drain later.
+
+    ``info`` is accepted for compatibility with callers holding the
+    resolved :class:`OpcodeInfo`; dispatch no longer needs it.
     """
-    op = instr.op
+    del info
     out = ExecOutcome()
-
-    if op == "nop":
-        thread.advance()
-        return out
-
-    if op == "set":
-        thread.write_int(instr.rd, instr.imm)
-        thread.advance()
-        return out
-
-    if op == "mov":
-        if instr.info.is_fp:
-            value = thread.read_fp(instr.rs1)
-            thread.write_fp(instr.rd, value)
-        else:
-            value = thread.read_int(instr.rs1)
-            thread.write_int(instr.rd, value)
-        out.operand_bits = [bit_pattern(value)]
-        thread.advance()
-        return out
-
-    if instr.info.is_branch:
-        value = thread.read_int(instr.rs1)
-        out.operand_bits = [bit_pattern(value)]
-        taken = (value == 0) if op == "beq" else (value != 0)
-        out.branch_taken = taken
-        out.branch_target = instr.target
-        if taken:
-            thread.jump(instr.target)
-        else:
-            thread.advance()
-        return out
-
-    if instr.info.is_load:
-        addr = (thread.read_int(instr.rs1) + (instr.imm or 0)) & WORD_MASK
-        value = memory.read(addr)
-        thread.write_int(instr.rd, value)
-        out.mem_addr = addr
-        out.is_load = True
-        out.operand_bits = [bit_pattern(value)]
-        thread.advance()
-        return out
-
-    if instr.info.is_store:
-        addr = (thread.read_int(instr.rs2) + (instr.imm or 0)) & WORD_MASK
-        value = thread.read_int(instr.rs1)
-        out.mem_addr = addr
-        out.is_store = True
-        out.store_value = value
-        out.operand_bits = [bit_pattern(value)]
-        thread.advance()
-        return out
-
-    if op == "cas":
-        addr = thread.read_int(instr.rs1) & WORD_MASK
-        compare = thread.read_int(instr.rs2)
-        swap = thread.read_int(instr.rd)
-        old = memory.read(addr)
-        if old == compare:
-            memory.write(addr, swap)
-        thread.write_int(instr.rd, old)
-        out.mem_addr = addr
-        out.is_atomic = True
-        out.operand_bits = [bit_pattern(compare), bit_pattern(old)]
-        thread.advance()
-        return out
-
-    if instr.info.is_fp:
-        a = thread.read_fp(instr.rs1)
-        b = thread.read_fp(instr.rs2)
-        out.operand_bits = [bit_pattern(a), bit_pattern(b)]
-        thread.write_fp(instr.rd, _fp_op(op, a, b))
-        thread.advance()
-        return out
-
-    # Integer two-source ALU / MUL / DIV.
-    a = thread.read_int(instr.rs1)
-    b = instr.imm if instr.rs2 is None else thread.read_int(instr.rs2)
-    b &= WORD_MASK
-    out.operand_bits = [bit_pattern(a), bit_pattern(b)]
-    thread.write_int(instr.rd, _int_op(op, a, b))
-    thread.advance()
+    handler = _HANDLERS.get(instr.op)
+    if handler is None:
+        raise ValueError(f"unhandled op {instr.op!r}")
+    handler(instr, thread, memory, out)
     return out
-
-
-def _int_op(op: str, a: int, b: int) -> int:
-    if op == "add":
-        return a + b
-    if op == "sub":
-        return a - b
-    if op == "and":
-        return a & b
-    if op == "or":
-        return a | b
-    if op == "xor":
-        return a ^ b
-    if op == "sll":
-        return a << (b & 63)
-    if op == "srl":
-        return (a & WORD_MASK) >> (b & 63)
-    if op == "mulx":
-        return a * b
-    if op == "sdivx":
-        if b == 0:
-            return WORD_MASK  # SPARC would trap; saturate instead
-        q = abs(_sign64(a)) // abs(_sign64(b))
-        if (_sign64(a) < 0) != (_sign64(b) < 0):
-            q = -q
-        return q
-    raise ValueError(f"unhandled integer op {op!r}")
-
-
-def _fp_op(op: str, a: float, b: float) -> float:
-    kind = op[1:4]
-    if kind == "add":
-        return a + b
-    if kind == "sub":
-        return a - b
-    if kind == "mul":
-        return a * b
-    if kind == "div":
-        if b == 0.0:
-            return float("inf")
-        return a / b
-    raise ValueError(f"unhandled fp op {op!r}")

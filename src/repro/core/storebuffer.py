@@ -70,6 +70,18 @@ class StoreBuffer:
         """Cycle of the next drain completion, for idle fast-forwarding."""
         return self._head_done_at
 
+    def delay_head(self, extra: int) -> None:
+        """Push the pending head drain back by ``extra`` cycles.
+
+        Models memory backpressure: when the L1.5 write behind a drain
+        takes longer than the nominal drain interval, the next drain
+        completes correspondingly later. No-op when nothing is pending.
+        """
+        if extra < 0:
+            raise ValueError("delay must be non-negative")
+        if self._head_done_at is not None:
+            self._head_done_at += extra
+
     def forward_value(self, addr: int) -> int | None:
         """Store-to-load forwarding: the youngest buffered store to the
         same 64-bit word, or None. Real T1 store buffers bypass their

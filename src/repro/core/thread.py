@@ -37,6 +37,10 @@ class ThreadContext:
     ``ready_at`` is the next cycle at which the thread may issue.
     ``done`` becomes True when the PC runs off the end of the program
     (infinite-loop tests never finish; fixed-iteration runs do).
+
+    ``instructions``/``infos``/``end`` mirror the program's instruction
+    list, resolved info list, and length — cached here so the issue
+    loop reads them without attribute chains through ``program``.
     """
 
     thread_id: int
@@ -47,6 +51,14 @@ class ThreadContext:
     regs: list[int] = field(default_factory=lambda: [0] * NUM_INT_REGS)
     fregs: list[float] = field(default_factory=lambda: [0.0] * NUM_FP_REGS)
     stats: ThreadStats = field(default_factory=ThreadStats)
+    instructions: list = field(init=False, repr=False, compare=False)
+    infos: list = field(init=False, repr=False, compare=False)
+    end: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.instructions = self.program.instructions
+        self.infos = self.program.infos
+        self.end = len(self.instructions)
 
     def read_int(self, index: int) -> int:
         if index == 0:
@@ -66,7 +78,7 @@ class ThreadContext:
     def advance(self) -> None:
         """Move to the next sequential instruction."""
         self.pc += 1
-        if self.pc >= len(self.program):
+        if self.pc >= self.end:
             self.done = True
 
     def jump(self, target: int) -> None:

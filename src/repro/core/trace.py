@@ -54,14 +54,14 @@ class TraceRecorder:
         original = core.step
         entries = self.entries
 
-        def traced_step(now: int) -> None:
+        def traced_step(now: int) -> int:
             # Snapshot per-thread commit counts and PCs, step, then
             # attribute the issue (if any) to the thread that advanced
             # — exact, and immune to roll-backs (which issue nothing).
             before = [
                 (t.stats.instructions, t.pc) for t in core.threads
             ]
-            original(now)
+            next_event = original(now)
             for thread, (count, pc) in zip(core.threads, before):
                 if thread.stats.instructions == count + 1:
                     instr = thread.program[pc]
@@ -76,6 +76,7 @@ class TraceRecorder:
                         )
                     )
                     break
+            return next_event
 
         self._original_step = original
         core.step = traced_step  # type: ignore[method-assign]

@@ -9,6 +9,7 @@ operands sweep minimum / random / maximum values.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import parallel_simulate
 from repro.experiments.result import ExperimentResult
 from repro.isa.operands import OperandPolicy
 from repro.power.epi import energy_per_instruction, subtract_filler_energy
@@ -35,16 +36,14 @@ PAPER_ANCHORS = {
 }
 
 
-def _measure_epi(
+def _build_epi_request(
     system: PitonSystem,
     name: str,
     policy: OperandPolicy,
     cores: int,
-    p_idle: Measurement,
     window_cycles: int,
-    nop_epi: Measurement | None,
-) -> tuple[Measurement, int]:
-    """Run one EPI test and apply the paper's equation."""
+):
+    """Assemble one EPI test point as (test, SimRequest)."""
     workload = {}
     test = None
     for tile in range(cores):
@@ -65,9 +64,22 @@ def _measure_epi(
         if touches_memory
         else 12_000
     )
-    run = system.run_workload(
+    request = system.sim_request(
         workload, warmup_cycles=warmup, window_cycles=window_cycles
     )
+    return test, request
+
+
+def _epi_from_outcome(
+    system: PitonSystem,
+    test,
+    outcome,
+    cores: int,
+    p_idle: Measurement,
+    nop_epi: Measurement | None,
+) -> tuple[Measurement, int]:
+    """Measure one simulated EPI test and apply the paper's equation."""
+    run = system.measure_outcome(outcome)
     epi = energy_per_instruction(
         run.measurement.core,
         p_idle,
@@ -82,10 +94,38 @@ def _measure_epi(
     return epi, test.latency_cycles
 
 
-def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, cores: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     cores = cores if cores is not None else (4 if quick else 25)
     window = 3_000 if quick else 6_000
     system = PitonSystem.default(seed=5)
+
+    # One point per (instruction, operand policy), in table order. The
+    # simulations fan out; the idle measurement and the per-point
+    # measurements below replay serially in this same order, keeping
+    # the bench RNG stream identical to a serial run. On the serial
+    # path the generator defers each point's workload build and
+    # simulation until its measurement comes due (so ``tests`` is
+    # always populated before it is read).
+    grid: list[tuple[str, OperandPolicy]] = []
+    for name, _ in FIGURE11_INSTRUCTIONS:
+        policies = POLICIES if has_operand_sweep(name) else (
+            OperandPolicy.RANDOM,
+        )
+        grid.extend((name, policy) for policy in policies)
+    tests: dict[tuple[str, OperandPolicy], object] = {}
+
+    def requests():
+        for name, policy in grid:
+            test, request = _build_epi_request(
+                system, name, policy, cores, window
+            )
+            tests[(name, policy)] = test
+            yield request
+
+    outcomes = parallel_simulate(requests(), jobs=jobs)
+
     p_idle = system.measure_idle().core
 
     result = ExperimentResult(
@@ -107,8 +147,16 @@ def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
         epis: dict[OperandPolicy, Measurement] = {}
         latency = 0
         for policy in policies:
-            epis[policy], latency = _measure_epi(
-                system, name, policy, cores, p_idle, window, nop_epi
+            # Pull the outcome first: on the serial path this triggers
+            # the deferred build+simulate that fills ``tests``.
+            outcome = next(outcomes)
+            epis[policy], latency = _epi_from_outcome(
+                system,
+                tests[(name, policy)],
+                outcome,
+                cores,
+                p_idle,
+                nop_epi,
             )
         if name == "nop":
             nop_epi = epis[OperandPolicy.RANDOM]

@@ -8,6 +8,7 @@ trendline slopes the figure's legend quotes.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import parallel_simulate
 from repro.experiments.result import ExperimentResult
 from repro.power.epf import pj_per_hop_trendline
 from repro.silicon.variation import CHIP3
@@ -58,13 +59,29 @@ def build_workload(
     raise ValueError(f"unknown microbenchmark {bench!r}")
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     core_counts = [1, 5, 9, 13, 17, 21, 25] if quick else list(
         range(1, 26, 2)
     )
     window = 3_000 if quick else 6_000
     warmup = 2_000 if quick else 4_000
     system = PitonSystem.default(persona=CHIP3, seed=13)
+
+    # Simulations fan out across workers; measurements replay serially
+    # in grid order, so the result is identical for any ``jobs``. The
+    # request stream is a generator: the serial path builds and
+    # simulates each point only as its measurement comes due.
+    requests = (
+        system.sim_request(
+            build_workload(bench, count, tpc),
+            warmup_cycles=warmup,
+            window_cycles=window,
+        )
+        for bench in BENCHMARKS
+        for tpc in (1, 2)
+        for count in core_counts
+    )
+    outcomes = parallel_simulate(requests, jobs=jobs)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -77,12 +94,7 @@ def run(quick: bool = False) -> ExperimentResult:
         for tpc in (1, 2):
             powers_mw = []
             for count in core_counts:
-                workload = build_workload(bench, count, tpc)
-                run_ = system.run_workload(
-                    workload,
-                    warmup_cycles=warmup,
-                    window_cycles=window,
-                )
+                run_ = system.measure_outcome(next(outcomes))
                 powers_mw.append(run_.measurement.core.value * 1e3)
             slope_w, _ = pj_per_hop_trendline(
                 core_counts, [p * 1e-3 for p in powers_mw]

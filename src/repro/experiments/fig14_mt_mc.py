@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import parallel_simulate
 from repro.experiments.result import ExperimentResult
 from repro.silicon.variation import CHIP3
 from repro.system import PitonSystem
@@ -79,17 +80,25 @@ def _finite_workload(
     raise ValueError(f"unknown benchmark {bench!r}")
 
 
+def _point_request(
+    system: PitonSystem, bench: str, threads: int, tpc: int
+):
+    cores = microbench_core_ids(threads // tpc)
+    return system.sim_request_to_completion(
+        _finite_workload(bench, cores, tpc)
+    )
+
+
 def _measure_point(
     system: PitonSystem,
     idle_total_w: float,
+    outcome,
     bench: str,
     threads: int,
     tpc: int,
 ) -> MtMcPoint:
     active_cores = threads // tpc
-    cores = microbench_core_ids(active_cores)
-    workload = _finite_workload(bench, cores, tpc)
-    run = system.run_to_completion(workload)
+    run = system.measure_outcome(outcome)
 
     total_w = run.measurement.core.value
     idle_share = idle_total_w * active_cores / system.config.tile_count
@@ -109,9 +118,25 @@ def _measure_point(
     )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     thread_counts = [4, 8, 16, 24] if quick else list(range(2, 25, 2))
     system = PitonSystem.default(persona=CHIP3, seed=17)
+
+    # The (bench, threads, tpc) grid in original iteration order; the
+    # finite simulations fan out, measurements replay serially below.
+    grid = [
+        (bench, threads, tpc)
+        for bench in BENCHMARKS
+        for threads in thread_counts
+        for tpc in (1, 2)
+        if not (threads % tpc or threads // tpc > 25)
+    ]
+    requests = (
+        _point_request(system, bench, threads, tpc)
+        for bench, threads, tpc in grid
+    )
+    outcomes = parallel_simulate(requests, jobs=jobs)
+
     idle_total_w = system.measure_idle().core.value
 
     result = ExperimentResult(
@@ -131,35 +156,31 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
     points: list[MtMcPoint] = []
-    for bench in BENCHMARKS:
-        for threads in thread_counts:
-            for tpc in (1, 2):
-                if threads % tpc or threads // tpc > 25:
-                    continue
-                point = _measure_point(
-                    system, idle_total_w, bench, threads, tpc
-                )
-                points.append(point)
-                result.rows.append(
-                    (
-                        bench,
-                        threads,
-                        point.config,
-                        point.active_cores,
-                        round(point.total_power_w * 1e3, 1),
-                        round(point.active_power_w * 1e3, 1),
-                        round(point.idle_share_w * 1e3, 1),
-                        round(point.exec_cycles / 1e3, 1),
-                        round(point.total_energy_j * 1e6, 2),
-                    )
-                )
-                key = f"{bench}_{point.config.replace(' ', '')}"
-                result.series.setdefault(f"{key}_power_w", []).append(
-                    point.total_power_w
-                )
-                result.series.setdefault(f"{key}_energy_j", []).append(
-                    point.total_energy_j
-                )
+    for bench, threads, tpc in grid:
+        point = _measure_point(
+            system, idle_total_w, next(outcomes), bench, threads, tpc
+        )
+        points.append(point)
+        result.rows.append(
+            (
+                bench,
+                threads,
+                point.config,
+                point.active_cores,
+                round(point.total_power_w * 1e3, 1),
+                round(point.active_power_w * 1e3, 1),
+                round(point.idle_share_w * 1e3, 1),
+                round(point.exec_cycles / 1e3, 1),
+                round(point.total_energy_j * 1e6, 2),
+            )
+        )
+        key = f"{bench}_{point.config.replace(' ', '')}"
+        result.series.setdefault(f"{key}_power_w", []).append(
+            point.total_power_w
+        )
+        result.series.setdefault(f"{key}_energy_j", []).append(
+            point.total_energy_j
+        )
 
     # Headline comparisons the paper draws.
     notes = _shape_notes(points)

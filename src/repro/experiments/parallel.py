@@ -1,0 +1,83 @@
+"""Fan independent simulation points across a process pool.
+
+The experiments in this package are grids of independent measurement
+points (VDD values, core counts, thread counts, instruction classes).
+Each point's *simulation* is a pure function of a
+:class:`~repro.system.SimRequest` — the simulator has no randomness —
+while each point's *measurement* consumes the bench's monitor-noise RNG
+stream and mutates thermal state, so measurement order is
+load-bearing.
+
+The split this module implements therefore guarantees bit-identical
+results to a serial run by construction:
+
+1. build every point's ``SimRequest`` in the experiment's original
+   iteration order;
+2. fan the requests out with :func:`parallel_simulate` (results come
+   back in submission order, whatever order workers finish in);
+3. replay the measurements serially, in the parent process, in the
+   original order, via :meth:`PitonSystem.measure_outcome`.
+
+With ``jobs <= 1`` everything runs in-process (and the simulation
+engines stay attached to the outcomes); with ``jobs > 1`` a
+``multiprocessing`` pool runs the simulations and the engines are
+stripped before crossing the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.system import SimOutcome, SimRequest, run_simulation
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _simulate_stripped(request: SimRequest) -> SimOutcome:
+    """Pool worker: simulate, then drop the engine (it does not need to
+    be pickled back; callers of the parallel path read only the ledger
+    and counters)."""
+    outcome = run_simulation(request)
+    outcome.engine = None
+    return outcome
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int = 1
+) -> list[R]:
+    """``[fn(x) for x in items]``, optionally across a process pool.
+
+    Results always come back in submission order (``Pool.map``
+    preserves it). ``fn`` must be a module-level function and ``items``
+    picklable when ``jobs > 1``.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(min(jobs, len(items))) as pool:
+        return pool.map(fn, items)
+
+
+def parallel_simulate(
+    requests: Iterable[SimRequest], jobs: int = 1
+) -> Iterator[SimOutcome]:
+    """Run every request, yielding outcomes in request order.
+
+    With ``jobs <= 1`` this is fully lazy: each request is built (when
+    ``requests`` is a generator) and simulated only when its outcome is
+    consumed, so a serial experiment interleaves simulation with its
+    measurement replay and never holds the whole grid in memory — the
+    exact behavior of the pre-parallel code. With ``jobs > 1`` the
+    requests are materialized and fanned across a process pool
+    (``Pool.map`` preserves submission order).
+
+    Engines are stripped on both paths: grid experiments read only
+    ledgers and counters.
+    """
+    if jobs <= 1:
+        return map(_simulate_stripped, requests)
+    materialized = list(requests)
+    if len(materialized) <= 1:
+        return map(_simulate_stripped, materialized)
+    return iter(parallel_map(_simulate_stripped, materialized, jobs=jobs))

@@ -92,24 +92,41 @@ def sweep(
     warmup_cycles: int = 2_000,
     window_cycles: int = 4_000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> SweepResult:
     """Measure ``workload_factory`` at every grid point.
 
     Energy per instruction here is total *activity* energy over the
     window divided by instructions issued — the workload-level analogue
     of the paper's per-instruction EPI.
+
+    ``jobs > 1`` fans the per-point simulations across worker
+    processes; every point gets its own bench (its own RNG stream
+    seeded with ``seed``), and measurements run serially in grid
+    order, so results are identical for any ``jobs``.
     """
+    from repro.experiments.parallel import parallel_simulate
+
     result = SweepResult()
+    systems: list[tuple[SweepPoint, float, PitonSystem]] = []
+    requests = []
     for point in points:
         freq = point.resolved_freq_hz()
         system = PitonSystem.default(persona=point.persona, seed=seed)
         system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
-        idle = system.measure_idle().core.value
-        run = system.run_workload(
-            {tile: workload_factory(tile) for tile in tiles},
-            warmup_cycles=warmup_cycles,
-            window_cycles=window_cycles,
+        systems.append((point, freq, system))
+        requests.append(
+            system.sim_request(
+                {tile: workload_factory(tile) for tile in tiles},
+                warmup_cycles=warmup_cycles,
+                window_cycles=window_cycles,
+            )
         )
+    outcomes = parallel_simulate(requests, jobs=jobs)
+
+    for (point, freq, system), outcome in zip(systems, outcomes):
+        idle = system.measure_idle().core.value
+        run = system.measure_outcome(outcome)
         active = run.measurement.core.value - idle
         instructions = max(1, run.result.instructions)
         window_s = run.window_cycles / freq

@@ -46,6 +46,21 @@ class InstrClass(enum.Enum):
     BRANCH = "branch"
 
 
+#: InstrClass -> dense integer id, in declaration order. The pipeline
+#: accumulates per-class event counts in flat arrays indexed by these
+#: ids instead of hashing ``instr.<class>`` strings per instruction.
+INSTR_CLASS_INDEX: Mapping[InstrClass, int] = {
+    c: i for i, c in enumerate(InstrClass)
+}
+
+#: Interned ledger event name for each class id ("instr.<class>").
+INSTR_EVENT_NAMES: tuple[str, ...] = tuple(
+    f"instr.{c.value}" for c in InstrClass
+)
+
+NUM_INSTR_CLASSES = len(INSTR_EVENT_NAMES)
+
+
 @dataclass(frozen=True)
 class OpcodeInfo:
     """Static properties of one opcode.
@@ -53,7 +68,8 @@ class OpcodeInfo:
     ``latency`` is the Table VI latency: the number of cycles the
     issuing thread is occupied before a dependent instruction could
     issue (for stores, the store-buffer drain time; for loads, the
-    L1-hit use latency).
+    L1-hit use latency). ``class_index`` is the dense id of
+    ``instr_class`` (see :data:`INSTR_CLASS_INDEX`).
     """
 
     name: str
@@ -66,9 +82,11 @@ class OpcodeInfo:
     is_branch: bool = False
     num_sources: int = 2
     has_dest: bool = True
+    class_index: int = 0
 
 
 def _op(name, unit, iclass, latency, **kw) -> tuple[str, OpcodeInfo]:
+    kw.setdefault("class_index", INSTR_CLASS_INDEX[iclass])
     return name, OpcodeInfo(name, unit, iclass, latency, **kw)
 
 

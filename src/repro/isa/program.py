@@ -54,11 +54,27 @@ class Instruction:
 
 @dataclass
 class Program:
-    """A resolved instruction sequence with label metadata."""
+    """A resolved instruction sequence with label metadata.
+
+    ``infos`` is the per-instruction :class:`OpcodeInfo` list, resolved
+    once at construction so the pipeline's issue loop can index a flat
+    list instead of re-looking opcodes up per executed instruction
+    (programs loop; the lookup would otherwise run millions of times).
+    """
 
     instructions: list[Instruction] = field(default_factory=list)
     labels: dict[str, int] = field(default_factory=dict)
     source: str | None = None
+    infos: list[OpcodeInfo] = field(
+        init=False, repr=False, compare=False, default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self.refresh_infos()
+
+    def refresh_infos(self) -> None:
+        """Re-resolve ``infos`` (call after mutating ``instructions``)."""
+        self.infos = [opcode(i.op) for i in self.instructions]
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -71,6 +87,7 @@ class Program:
 
     def validate(self) -> None:
         """Check branch targets and register indices are in range."""
+        self.refresh_infos()
         for i, instr in enumerate(self.instructions):
             info = instr.info
             if info.is_branch:

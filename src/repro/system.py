@@ -13,6 +13,15 @@ flow is::
 ``run_workload`` mirrors the bench procedure: run to steady state
 (warm-up, events discarded), then record events over a measurement
 window and "measure" the implied power with the 17 Hz monitors.
+
+Simulation and measurement are deliberately split: the architectural
+simulation is a pure function of a :class:`SimRequest` (no randomness
+anywhere in core, cache, or chip), while all stochastic state — the
+monitor noise stream and the thermal settle — lives in the bench.
+:func:`run_simulation` is therefore safe to fan out across worker
+processes (see :mod:`repro.experiments.parallel`); replaying the
+measurements serially in submission order afterwards produces output
+bit-identical to a fully serial run.
 """
 
 from __future__ import annotations
@@ -36,17 +45,130 @@ from repro.util.events import EventLedger
 
 @dataclass
 class WorkloadRun:
-    """Everything one measured workload run produced."""
+    """Everything one measured workload run produced.
+
+    ``engine`` is ``None`` when the simulation ran in a worker process
+    (the engine does not travel back across the process boundary).
+    """
 
     measurement: RailMeasurement
     result: RunResult
     ledger: EventLedger
     window_cycles: int
-    engine: MulticoreEngine
+    engine: MulticoreEngine | None
 
     @property
     def ipc(self) -> float:
         return self.result.ipc
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """A complete, picklable description of one pure simulation.
+
+    Captures everything the architectural simulation depends on —
+    workload, window, chip configuration, address interleaving, and the
+    core clock (which sets off-chip latencies in core cycles). Chip
+    persona, calibration, and RNG seed deliberately do *not* appear:
+    they only affect measurement, which stays in the parent process.
+
+    ``window_cycles=None`` means run to completion (finite workloads).
+    """
+
+    workload: dict[int, TileProgram]
+    config: PitonConfig
+    interleave: Interleave
+    freq_hz: float
+    warmup_cycles: int = 0
+    window_cycles: int | None = None
+    max_cycles: int = 50_000_000
+    execution_drafting: bool = False
+
+
+@dataclass
+class SimOutcome:
+    """What one simulation produced: the event ledger for the measured
+    window and the run counters. ``engine`` survives only in-process."""
+
+    ledger: EventLedger
+    result: RunResult
+    engine: MulticoreEngine | None = None
+
+
+def build_engine(
+    config: PitonConfig,
+    interleave: Interleave,
+    freq_hz: float,
+    ledger: EventLedger | None = None,
+    execution_drafting: bool = False,
+) -> MulticoreEngine:
+    """A fresh multicore engine wired to a full off-chip path."""
+    ledger = ledger if ledger is not None else EventLedger()
+    offchip = OffChipPath(config, ledger)
+    offchip.set_core_clock(freq_hz)
+    memsys = CoherentMemorySystem(
+        config,
+        ledger=ledger,
+        address_map=AddressMap(config, interleave),
+        offchip=offchip,
+    )
+    return MulticoreEngine(
+        config,
+        ledger=ledger,
+        memsys=memsys,
+        execution_drafting=execution_drafting,
+    )
+
+
+def run_simulation(request: SimRequest) -> SimOutcome:
+    """Execute one :class:`SimRequest`. Pure and deterministic.
+
+    This is the function worker processes run: it touches no bench
+    state and consumes no randomness, so the outcome is identical
+    whether it runs here, in a pool worker, or in any order relative
+    to other requests.
+    """
+    warmup_ledger = EventLedger()
+    engine = build_engine(
+        request.config,
+        request.interleave,
+        request.freq_hz,
+        ledger=warmup_ledger,
+        execution_drafting=request.execution_drafting,
+    )
+    for tile, tp in request.workload.items():
+        engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
+        engine.memory.load_image(tp.memory_image)
+
+    if request.window_cycles is None:
+        result = engine.run(until_done=True, max_cycles=request.max_cycles)
+        return SimOutcome(
+            ledger=warmup_ledger, result=result, engine=engine
+        )
+
+    if request.warmup_cycles:
+        engine.run(cycles=request.warmup_cycles)
+    window_ledger = EventLedger()
+    _rebind_engine_ledger(engine, window_ledger)
+    result = engine.run(cycles=request.window_cycles)
+    return SimOutcome(ledger=window_ledger, result=result, engine=engine)
+
+
+def _rebind_engine_ledger(
+    engine: MulticoreEngine, ledger: EventLedger
+) -> None:
+    """Point every component of a live engine at a new ledger."""
+    engine.ledger = ledger
+    engine.memsys.ledger = ledger
+    for slice_ in engine.memsys.l2:
+        slice_.ledger = ledger
+    offchip = engine.memsys.offchip
+    if isinstance(offchip, OffChipPath):
+        offchip.ledger = ledger
+        offchip.bridge.ledger = ledger
+        offchip.dram.ledger = ledger
+    for core in engine.cores.values():
+        core.ledger = ledger
 
 
 class PitonSystem:
@@ -86,20 +208,70 @@ class PitonSystem:
         execution_drafting: bool = False,
     ) -> MulticoreEngine:
         """A fresh multicore engine wired to a full off-chip path."""
-        ledger = ledger if ledger is not None else EventLedger()
-        offchip = OffChipPath(self.config, ledger)
-        offchip.set_core_clock(self.bench.freq_hz)
-        memsys = CoherentMemorySystem(
+        return build_engine(
             self.config,
+            self.interleave,
+            self.bench.freq_hz,
             ledger=ledger,
-            address_map=AddressMap(self.config, self.interleave),
-            offchip=offchip,
-        )
-        return MulticoreEngine(
-            self.config,
-            ledger=ledger,
-            memsys=memsys,
             execution_drafting=execution_drafting,
+        )
+
+    def sim_request(
+        self,
+        programs_by_tile: dict[int, "TileProgram | list[Program]"],
+        warmup_cycles: int = 2_000,
+        window_cycles: int = 10_000,
+        execution_drafting: bool = False,
+    ) -> SimRequest:
+        """Capture a steady-state workload run as a :class:`SimRequest`.
+
+        The request snapshots the *current* operating point (the core
+        clock); take it after :meth:`set_operating_point`.
+        """
+        return SimRequest(
+            workload=normalize_workload(programs_by_tile),
+            config=self.config,
+            interleave=self.interleave,
+            freq_hz=self.bench.freq_hz,
+            warmup_cycles=warmup_cycles,
+            window_cycles=window_cycles,
+            execution_drafting=execution_drafting,
+        )
+
+    def sim_request_to_completion(
+        self,
+        programs_by_tile: dict[int, "TileProgram | list[Program]"],
+        max_cycles: int = 50_000_000,
+    ) -> SimRequest:
+        """Capture a run-to-completion workload as a :class:`SimRequest`."""
+        return SimRequest(
+            workload=normalize_workload(programs_by_tile),
+            config=self.config,
+            interleave=self.interleave,
+            freq_hz=self.bench.freq_hz,
+            warmup_cycles=0,
+            window_cycles=None,
+            max_cycles=max_cycles,
+        )
+
+    # ----------------------------------------------------- run + measurement
+    def measure_outcome(self, outcome: SimOutcome) -> WorkloadRun:
+        """Take the bench measurement for a finished simulation.
+
+        This is the only stochastic half of a workload run (monitor
+        noise, thermal settle): callers fanning simulations out across
+        processes must invoke it serially, in submission order, to
+        reproduce the serial RNG stream exactly.
+        """
+        measurement = self.bench.measure_workload(
+            outcome.ledger, outcome.result.cycles
+        )
+        return WorkloadRun(
+            measurement=measurement,
+            result=outcome.result,
+            ledger=outcome.ledger,
+            window_cycles=outcome.result.cycles,
+            engine=outcome.engine,
         )
 
     def run_workload(
@@ -116,29 +288,13 @@ class PitonSystem:
         Workloads are expected to be infinite loops; use
         :meth:`run_to_completion` for finite ones.
         """
-        workload = normalize_workload(programs_by_tile)
-        warmup_ledger = EventLedger()
-        engine = self.new_engine(warmup_ledger, execution_drafting)
-        for tile, tp in workload.items():
-            engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
-            engine.memory.load_image(tp.memory_image)
-        engine.run(cycles=warmup_cycles)
-
-        # Swap in a fresh ledger for the measurement window.
-        window_ledger = EventLedger()
-        self._rebind_ledger(engine, window_ledger)
-        result = engine.run(cycles=window_cycles)
-
-        measurement = self.bench.measure_workload(
-            window_ledger, result.cycles
+        request = self.sim_request(
+            programs_by_tile,
+            warmup_cycles=warmup_cycles,
+            window_cycles=window_cycles,
+            execution_drafting=execution_drafting,
         )
-        return WorkloadRun(
-            measurement=measurement,
-            result=result,
-            ledger=window_ledger,
-            window_cycles=result.cycles,
-            engine=engine,
-        )
+        return self.measure_outcome(run_simulation(request))
 
     def run_to_completion(
         self,
@@ -148,37 +304,10 @@ class PitonSystem:
         """Run a finite workload to completion; measures over the whole
         execution (the paper's procedure for the energy studies, where
         microbenchmarks run a fixed number of iterations)."""
-        workload = normalize_workload(programs_by_tile)
-        ledger = EventLedger()
-        engine = self.new_engine(ledger)
-        for tile, tp in workload.items():
-            engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
-            engine.memory.load_image(tp.memory_image)
-        result = engine.run(until_done=True, max_cycles=max_cycles)
-        measurement = self.bench.measure_workload(ledger, result.cycles)
-        return WorkloadRun(
-            measurement=measurement,
-            result=result,
-            ledger=ledger,
-            window_cycles=result.cycles,
-            engine=engine,
+        request = self.sim_request_to_completion(
+            programs_by_tile, max_cycles=max_cycles
         )
-
-    def _rebind_ledger(
-        self, engine: MulticoreEngine, ledger: EventLedger
-    ) -> None:
-        """Point every component of a live engine at a new ledger."""
-        engine.ledger = ledger
-        engine.memsys.ledger = ledger
-        for slice_ in engine.memsys.l2:
-            slice_.ledger = ledger
-        offchip = engine.memsys.offchip
-        if isinstance(offchip, OffChipPath):
-            offchip.ledger = ledger
-            offchip.bridge.ledger = ledger
-            offchip.dram.ledger = ledger
-        for core in engine.cores.values():
-            core.ledger = ledger
+        return self.measure_outcome(run_simulation(request))
 
     # ------------------------------------------------------------ measurement
     def measure_static(self) -> RailMeasurement:

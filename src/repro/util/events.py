@@ -47,6 +47,18 @@ class EventLedger:
         self.counts[name] += n
         self.weights[name] += n * act
 
+    def add_bulk(self, name: str, n: float, weight: float) -> None:
+        """Fold a pre-aggregated batch of ``n`` events directly in.
+
+        The hot simulation loops accumulate events in interned per-core
+        counters and flush them here once per engine run; ``weight`` is
+        the already-summed activity weight for the batch (what ``n``
+        individual :meth:`record` calls would have accumulated). Skips
+        per-event validation — callers are trusted aggregators.
+        """
+        self.counts[name] += n
+        self.weights[name] += weight
+
     def count(self, name: str) -> float:
         return self.counts.get(name, 0.0)
 
@@ -96,3 +108,6 @@ class NullLedger(EventLedger):
     def record(self, name: str, n: float = 1.0, activity: float | None = None) -> None:  # noqa: D102
         if n < 0:
             raise ValueError(f"negative event count for {name!r}")
+
+    def add_bulk(self, name: str, n: float, weight: float) -> None:  # noqa: D102
+        pass
