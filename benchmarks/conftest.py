@@ -12,13 +12,12 @@ numbers are identical either way, only the wall-clock changes.
 
 from __future__ import annotations
 
-import inspect
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.cli import CHARTABLE
+from repro.experiments import EXPERIMENTS, RunContext
 from repro.experiments.result import ExperimentResult
 from repro.util.charts import line_chart
 
@@ -40,16 +39,18 @@ def record_result(results_dir):
         (results_dir / f"{result.experiment_id}.txt").write_text(
             text + "\n"
         )
-        if result.experiment_id in CHARTABLE:
-            keys, y_label = CHARTABLE[result.experiment_id]
+        spec = EXPERIMENTS.get(result.experiment_id)
+        if spec is not None and spec.chart is not None:
             series = {
-                k: result.series[k] for k in keys if k in result.series
+                k: result.series[k]
+                for k in spec.chart.series
+                if k in result.series
             }
             if series:
                 chart = line_chart(
                     series,
                     title=f"{result.experiment_id}: {result.title}",
-                    y_label=y_label,
+                    y_label=spec.chart.y_label,
                 )
                 (results_dir / f"{result.experiment_id}.chart.txt").write_text(
                     chart + "\n"
@@ -62,10 +63,15 @@ def record_result(results_dir):
 
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Time exactly one full execution of an experiment."""
+    """Time exactly one full execution of an experiment.
+
+    Runners take a ``RunContext``; set ``REPRO_BENCH_JOBS=N`` to fan
+    the per-point simulations across worker processes (experiments
+    that never fan out ignore it).
+    """
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
-    if jobs > 1 and "jobs" in inspect.signature(func).parameters:
-        kwargs.setdefault("jobs", jobs)
+    quick = bool(kwargs.pop("quick", False))
+    kwargs.setdefault("ctx", RunContext(quick=quick, jobs=jobs))
     return benchmark.pedantic(
         func, args=args, kwargs=kwargs, rounds=1, iterations=1
     )

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_ablation_drafting(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     saving = result.series["energy_saving_fraction"][0]

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_ablation_dtm(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
     reactive = result.series["reactive_work_ratio"][0]
     assert reactive > 1.1  # DTM beats the static-safe clock

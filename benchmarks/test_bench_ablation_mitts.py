@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_ablation_mitts(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     assert result.series["shaped_a_share"][0] > result.series["unshaped_a_share"][0]

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_ablation_multichip(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     p21 = result.series["2x1_penalty"][0]

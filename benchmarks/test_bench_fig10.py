@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig10(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     assert abs(result.series["table5_static_mw"][0] - 389.3) < 10

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig12(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     slopes = {p: result.series[f"{p}_slope_pj"][0] for p in ("NSW", "HSW", "FSW", "FSWA")}

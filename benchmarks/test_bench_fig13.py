@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig13(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     s = {k: v[0] for k, v in result.series.items() if "slope" in k}

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig17(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     p0 = result.series["0_threads_power_mw"]

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig18(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     rows = {r[0]: r for r in result.rows}

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_fig8(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     assert result.series["chip_total_mm2"][0] == 35.97552

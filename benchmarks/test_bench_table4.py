@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_table4(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     assert sum(row[3] for row in result.rows) == 32

@@ -10,7 +10,7 @@ from conftest import run_once
 
 
 def test_bench_table8(benchmark, record_result):
-    result = run_once(benchmark, experiment.run, quick=False)
+    result = run_once(benchmark, experiment.run)
     record_result(result)
 
     assert result.series["piton_memory_latency_ns"][0] == pytest.approx(848, rel=0.02)

@@ -12,7 +12,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import EXPERIMENTS, RunContext, get_experiment
 
 
 def main(argv: list[str]) -> int:
@@ -29,17 +29,24 @@ def main(argv: list[str]) -> int:
         action="store_true",
         help="smaller sweeps / fewer cores (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments that fan out "
+        "simulations (results identical for any value)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
         print("available experiments:")
-        for eid, (_, description) in EXPERIMENTS.items():
-            print(f"  {eid:8s} {description}")
+        for eid, spec in EXPERIMENTS.items():
+            print(f"  {eid:8s} {spec.description}")
         return 0
 
     runner = get_experiment(args.experiment)
     start = time.perf_counter()
-    result = runner(quick=args.quick)
+    result = runner(RunContext(quick=args.quick, jobs=args.jobs))
     elapsed = time.perf_counter() - start
     print(result.render())
     print(f"\n[{args.experiment} completed in {elapsed:.1f}s]")

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.power.chip_power import RailPower
 
@@ -21,6 +22,9 @@ from repro.power.chip_power import RailPower
 PowerSource = Callable[[float], RailPower]
 
 CSV_HEADER = ("time_s", "vdd_w", "vcs_w", "vio_w")
+
+#: Version of the ``to_dict``/``to_json`` power-log document.
+POWERLOG_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -74,6 +78,47 @@ class PowerLog:
             p1 = self.vdd_w[i] + self.vcs_w[i] + self.vio_w[i]
             energy += 0.5 * (p0 + p1) * dt
         return energy
+
+    # ----------------------------------------------------------------- json
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable time-series document (all rails + summary
+        statistics), the JSON sibling of the published CSV logs."""
+        return {
+            "schema_version": POWERLOG_SCHEMA_VERSION,
+            "samples": len(self),
+            "time_s": list(self.times_s),
+            "vdd_w": list(self.vdd_w),
+            "vcs_w": list(self.vcs_w),
+            "vio_w": list(self.vio_w),
+            "summary": {
+                rail: self.summary(rail)
+                for rail in ("vdd", "vcs", "vio")
+                if len(self)
+            },
+            "total_energy_j": self.total_energy_j(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PowerLog":
+        version = data.get("schema_version")
+        if version != POWERLOG_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported power-log schema_version {version!r} "
+                f"(supported: {POWERLOG_SCHEMA_VERSION})"
+            )
+        log = cls()
+        for t, vdd, vcs, vio in zip(
+            data["time_s"], data["vdd_w"], data["vcs_w"], data["vio_w"]
+        ):
+            log.append(t, RailPower(vdd, vcs, vio))
+        return log
+
+    @classmethod
+    def from_json(cls, text: str) -> "PowerLog":
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------ csv
     def to_csv(self) -> str:

@@ -2,21 +2,37 @@
 
 Subcommands mirror what a user of the real bench would do:
 
-* ``list``                      — enumerate the reproducible experiments
-* ``run <experiment>``          — regenerate one table/figure
+* ``list [--json]``             — enumerate the reproducible experiments
+  (with registry metadata in JSON mode)
+* ``run <experiment>``          — regenerate one table/figure;
+  ``--json [--out FILE]`` emits the schema-versioned machine-readable
+  document (rows, series, paper references, run manifest) instead of
+  the ASCII table, and ``--trace`` prints a telemetry digest to stderr
 * ``measure [--persona NAME]``  — the Table V static/idle measurements
 * ``chart <experiment>``        — render a figure experiment as an
-  ASCII chart (line chart over its numeric series)
+  ASCII chart (line chart over its numeric series); shares the run
+  path with ``run``, so ``--quick``/``--jobs`` apply here too
+
+Every experiment runs through one :class:`~repro.experiments.RunContext`
+— no per-runner signature sniffing — with telemetry enabled, so every
+result carries a run manifest (span timings, per-point wall times,
+per-component event rates).
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import json
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    RunContext,
+    get_spec,
+)
+from repro.obs import Tracer
 from repro.silicon.variation import CHIP1, CHIP2, CHIP3, THERMAL_CHIP
 from repro.util.charts import line_chart
 
@@ -27,41 +43,70 @@ PERSONAS = {
     "thermal": THERMAL_CHIP,
 }
 
-#: Figure experiments with chartable series: id -> (series keys, y label).
-CHARTABLE = {
-    "fig9": (("chip1", "chip2", "chip3"), "MHz"),
-    "fig10": (("idle_total_mw", "static_total_mw"), "mW"),
-    "fig12": (("NSW", "HSW", "FSW", "FSWA"), "pJ"),
-    "fig13": (
-        ("Int_1tc", "Int_2tc", "HP_1tc", "HP_2tc", "Hist_1tc", "Hist_2tc"),
-        "mW",
-    ),
-    "fig16": (("vdd_mw", "vio_mw", "vcs_mw"), "mW"),
-}
+
+def _emit(text: str, out: str | None) -> None:
+    """Print ``text``, or write it to ``--out FILE`` when given."""
+    if out is None or out == "-":
+        print(text)
+    else:
+        with open(out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
 
 
-def cmd_list(_args: argparse.Namespace) -> int:
-    for eid, (_, description) in EXPERIMENTS.items():
-        print(f"{eid:20s} {description}")
-    return 0
+def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
+    """The shared execution path for ``run`` and ``chart``.
 
-
-def cmd_run(args: argparse.Namespace) -> int:
-    runner = get_experiment(args.experiment)
-    kwargs = {"quick": args.quick}
+    Builds one RunContext from the CLI flags and invokes the runner
+    uniformly; experiments that never fan out simply ignore ``jobs``
+    (the registry's ``supports_jobs`` drives the courtesy note).
+    """
+    spec = get_spec(args.experiment)
     jobs = getattr(args, "jobs", 1)
-    if "jobs" in inspect.signature(runner).parameters:
-        kwargs["jobs"] = jobs
-    elif jobs > 1:
+    if jobs > 1 and not spec.supports_jobs:
         print(
             f"note: {args.experiment} does not simulate per-point "
             "workloads; --jobs ignored",
             file=sys.stderr,
         )
+    ctx = RunContext(
+        quick=args.quick,
+        jobs=jobs,
+        tracer=Tracer(),
+        out_format="json" if getattr(args, "json", False) else "table",
+    )
+    return spec.resolve()(ctx)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                [spec.metadata() for spec in EXPERIMENTS.values()],
+                indent=2,
+            )
+        )
+        return 0
+    for eid, spec in EXPERIMENTS.items():
+        flags = []
+        if spec.supports_jobs:
+            flags.append("jobs")
+        if spec.chartable:
+            flags.append("chart")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{eid:20s} {spec.description}{suffix}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    result = runner(**kwargs)
-    print(result.render())
-    print(f"\n[{args.experiment}: {time.perf_counter() - start:.1f}s]")
+    result = _run_in_context(args)
+    if args.json:
+        _emit(result.to_json(), args.out)
+    else:
+        _emit(result.render(), args.out)
+        print(f"\n[{args.experiment}: {time.perf_counter() - start:.1f}s]")
+    if args.trace and result.manifest is not None:
+        print(result.manifest.summary(), file=sys.stderr)
     return 0
 
 
@@ -84,24 +129,58 @@ def cmd_measure(args: argparse.Namespace) -> int:
 
 
 def cmd_chart(args: argparse.Namespace) -> int:
-    if args.experiment not in CHARTABLE:
+    spec = get_spec(args.experiment)
+    if spec.chart is None:
+        chartable = sorted(
+            eid for eid, s in EXPERIMENTS.items() if s.chartable
+        )
         print(
             f"no chart mapping for {args.experiment!r}; chartable: "
-            f"{sorted(CHARTABLE)}",
+            f"{chartable}",
             file=sys.stderr,
         )
         return 2
-    keys, y_label = CHARTABLE[args.experiment]
-    result = get_experiment(args.experiment)(quick=args.quick)
-    series = {k: result.series[k] for k in keys if k in result.series}
-    print(
+    result = _run_in_context(args)
+    series = {
+        k: result.series[k]
+        for k in spec.chart.series
+        if k in result.series
+    }
+    _emit(
         line_chart(
             series,
             title=f"{result.experiment_id}: {result.title}",
-            y_label=y_label,
-        )
+            y_label=spec.chart.y_label,
+        ),
+        args.out,
     )
+    if args.trace and result.manifest is not None:
+        print(result.manifest.summary(), file=sys.stderr)
     return 0
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that executes an experiment."""
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation fan-out (results "
+        "are identical for any value; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the output to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the run's telemetry digest (spans, event rates) "
+        "to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,19 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments").set_defaults(
-        func=cmd_list
+    list_ = sub.add_parser("list", help="list experiments")
+    list_.add_argument(
+        "--json",
+        action="store_true",
+        help="print registry metadata as JSON",
     )
+    list_.set_defaults(func=cmd_list)
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    run.add_argument("--quick", action="store_true")
+    _add_run_flags(run)
     run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the simulation fan-out (results "
-        "are identical for any value; default 1 = serial)",
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned JSON document (rows, series, "
+        "paper references, run manifest) instead of the ASCII table",
     )
     run.set_defaults(func=cmd_run)
 
@@ -136,8 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     measure.set_defaults(func=cmd_measure)
 
     chart = sub.add_parser("chart", help="ASCII chart of a figure")
-    chart.add_argument("experiment", choices=sorted(CHARTABLE))
-    chart.add_argument("--quick", action="store_true")
+    chart.add_argument(
+        "experiment",
+        choices=sorted(
+            eid for eid, spec in EXPERIMENTS.items() if spec.chartable
+        ),
+    )
+    _add_run_flags(chart)
     chart.set_defaults(func=cmd_chart)
 
     return parser
@@ -149,4 +236,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(argv=None))

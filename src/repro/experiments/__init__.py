@@ -1,12 +1,33 @@
 """One module per table and figure of the paper's evaluation.
 
-Every module exposes ``run(quick=False) -> ExperimentResult``; ``quick``
-trades sweep density for runtime (used by the test suite — benchmarks
-run the full shapes). The registry maps experiment ids to runners so
-the benchmark harness and the examples can enumerate them.
+Every module exposes ``run(ctx: RunContext = ...) -> ExperimentResult``
+(the legacy ``run(quick=..., jobs=...)`` keyword style still works but
+emits a ``DeprecationWarning``). ``RunContext.quick`` trades sweep
+density for runtime (used by the test suite — benchmarks run the full
+shapes); ``jobs`` fans per-point simulations across worker processes
+on experiments whose registry entry says ``supports_jobs``. The
+registry maps experiment ids to runners plus chartability/parallelism
+metadata so the CLI, the benchmark harness, and the examples can
+enumerate them uniformly.
 """
 
+from repro.experiments.context import RunContext, experiment_runner
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ChartSpec,
+    ExperimentSpec,
+    get_experiment,
+    get_spec,
+)
 from repro.experiments.result import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "ChartSpec",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "RunContext",
+    "experiment_runner",
+    "get_experiment",
+    "get_spec",
+]

@@ -11,17 +11,23 @@ trailing thread drafts behind the leader.
 
 from __future__ import annotations
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.epi import energy_per_instruction
+from repro.silicon.variation import CHIP2
 from repro.system import PitonSystem
 from repro.workloads.base import TileProgram
 from repro.workloads.microbench import PATTERN_A, PATTERN_B, int_program
 
 
-def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
+    quick = ctx.quick
     cores = cores if cores is not None else (4 if quick else 25)
     window = 3_000 if quick else 6_000
-    system = PitonSystem.default(seed=41)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP2), seed=41, tracer=ctx.trace
+    )
     p_idle = system.measure_idle().core
 
     program = int_program()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.power.chip_power import ChipPowerModel, OperatingPoint
 from repro.power.technology import fmax_hz
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.silicon.variation import CHIP1
 from repro.thermal.cooling import STOCK_HEATSINK_FAN
@@ -89,7 +90,9 @@ def _static_baseline(duration_s: float) -> GovernedTrace:
     return governor.run(power_model, STOCK_HEATSINK_FAN, duration_s)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     # Long enough for the heat-sink capacitance to charge and the
     # governor to actually trip.
     duration = 180.0 if quick else DURATION_S

@@ -12,6 +12,7 @@ plus long runtimes punish very low voltages.
 
 from __future__ import annotations
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP2
@@ -22,7 +23,9 @@ VDD_SWEEP = (0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15)
 WORK_INSTRUCTIONS = 1e9  # the fixed work quantum, per core
 
 
-def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
+    quick = ctx.quick
     cores = cores if cores is not None else (4 if quick else 9)
     sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
     curve = VfCurve(CHIP2)
@@ -42,7 +45,9 @@ def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
     result.series["energy_mj"] = []
     for vdd in sweep:
         point = curve.boot_frequency(vdd)
-        system = PitonSystem.default(seed=43)
+        system = PitonSystem.default(
+            persona=ctx.resolve_persona(CHIP2), seed=43, tracer=ctx.trace
+        )
         system.set_operating_point(vdd, vdd + 0.05, point.fmax_hz)
         run_ = system.run_workload(
             {t: int_tile() for t in range(cores)},

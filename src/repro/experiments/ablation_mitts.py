@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.noc.mitts import MittsBin, MittsShaper
 from repro.system import PitonSystem
@@ -84,7 +85,9 @@ def _run_case(shaped: bool, window: int) -> dict[str, TenantStats]:
     return stats
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     window = 30_000 if quick else 120_000
     result = ExperimentResult(
         experiment_id="ablation_mitts",

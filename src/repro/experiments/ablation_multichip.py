@@ -14,11 +14,14 @@ practical. This ablation quantifies both halves on the reproduction:
 from __future__ import annotations
 
 from repro.chip.multichip import MultiChipTopology
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.chip_power import ChipPowerModel, OperatingPoint
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     arrays = [(2, 1), (2, 2)] if quick else [(2, 1), (2, 2), (4, 2)]
     model = ChipPowerModel()
     op = OperatingPoint()

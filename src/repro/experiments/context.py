@@ -1,0 +1,157 @@
+"""The uniform experiment-runner API.
+
+Every experiment runner takes one :class:`RunContext` — run speed,
+parallelism, persona override, telemetry sink, output format — instead
+of the historical per-runner keyword grab-bag that forced ``cli.py``
+to sniff signatures with :mod:`inspect`. The
+:func:`experiment_runner` decorator adapts each module's
+``run(ctx, ...)`` implementation to:
+
+* accept the legacy call styles (``run()``, ``run(True)``,
+  ``run(quick=..., jobs=...)``) by building a ``RunContext`` and
+  emitting a :class:`DeprecationWarning`;
+* time the whole run and attach a
+  :class:`~repro.obs.manifest.RunManifest` to the returned
+  :class:`~repro.experiments.result.ExperimentResult`.
+
+Telemetry is opt-in: the default context carries the disabled
+:data:`~repro.obs.trace.NULL_TRACER`, whose hooks are no-ops, and the
+manifest then records only the run configuration and total wall time.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.manifest import build_manifest
+from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.result import ExperimentResult
+    from repro.silicon.variation import ChipPersona
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a runner needs to know about *how* to run.
+
+    ``persona=None`` means "the experiment's own default chip" (each
+    figure pins the persona the paper measured it on); setting one
+    re-characterizes the experiment on another die. ``tracer=None``
+    means telemetry off.
+    """
+
+    quick: bool = False
+    jobs: int = 1
+    persona: "ChipPersona | None" = None
+    tracer: Tracer | None = None
+    out_format: str = "table"  # "table" | "json"
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.out_format not in ("table", "json"):
+            raise ValueError(
+                f"out_format must be 'table' or 'json', "
+                f"got {self.out_format!r}"
+            )
+
+    @property
+    def trace(self) -> Tracer:
+        """The telemetry sink, never ``None`` (disabled -> no-op)."""
+        return self.tracer if self.tracer is not None else NULL_TRACER
+
+    def resolve_persona(self, default: "ChipPersona") -> "ChipPersona":
+        """The persona override, or the experiment's own default."""
+        return self.persona if self.persona is not None else default
+
+    def with_tracer(self, tracer: Tracer | None) -> "RunContext":
+        return replace(self, tracer=tracer)
+
+
+def _legacy_context(
+    quick: object, jobs: object, persona: object, tracer: object
+) -> RunContext:
+    return RunContext(
+        quick=bool(quick),
+        jobs=int(jobs) if jobs is not None else 1,
+        persona=persona,  # type: ignore[arg-type]
+        tracer=tracer,  # type: ignore[arg-type]
+    )
+
+
+def experiment_runner(
+    fn: Callable[..., "ExperimentResult"],
+) -> Callable[..., "ExperimentResult"]:
+    """Adapt ``run(ctx, **extras)`` to the public runner protocol.
+
+    The wrapped callable accepts either a :class:`RunContext` (the
+    one supported call style) or the pre-redesign keyword style, which
+    still works but warns::
+
+        run(RunContext(quick=True, jobs=4))      # current
+        run(quick=True, jobs=4)                  # deprecated shim
+        run(True)                                # deprecated shim
+
+    Module-specific extras (``cores=``, ``seed=``, ``benchmark=`` ...)
+    pass through unchanged in both styles.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(
+        ctx: RunContext | bool | None = None,
+        *,
+        quick: bool | None = None,
+        jobs: int | None = None,
+        persona: object = None,
+        tracer: object = None,
+        **extras: object,
+    ) -> "ExperimentResult":
+        legacy = (
+            quick is not None
+            or jobs is not None
+            or persona is not None
+            or tracer is not None
+            or isinstance(ctx, bool)
+        )
+        if legacy:
+            if isinstance(ctx, RunContext):
+                raise TypeError(
+                    "pass either a RunContext or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                f"{fn.__module__}.run(quick=..., jobs=...) is "
+                "deprecated; pass a repro.experiments.RunContext "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if isinstance(ctx, bool):  # old positional run(True)
+                quick = ctx if quick is None else quick
+            ctx = _legacy_context(quick, jobs, persona, tracer)
+        elif ctx is None:
+            ctx = RunContext()
+        elif not isinstance(ctx, RunContext):
+            raise TypeError(
+                f"expected RunContext, got {type(ctx).__name__}"
+            )
+
+        trace = ctx.trace
+        start = time.perf_counter()
+        with trace.span("experiment"):
+            result = fn(ctx, **extras)
+        result.manifest = build_manifest(
+            result.experiment_id,
+            ctx,
+            trace,
+            wall_s_total=time.perf_counter() - start,
+        )
+        return result
+
+    wrapper.__wrapped_runner__ = fn  # type: ignore[attr-defined]
+    return wrapper

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.arch.params import DEFAULT_MEASUREMENT
 from repro.experiments.fig9_vf import VDD_SWEEP
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP1, CHIP2, CHIP3
@@ -22,7 +23,9 @@ PERSONAS = (CHIP1, CHIP2, CHIP3)
 PAPER_TABLE5 = {"static_mw": 389.3, "idle_mw": 2015.3}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
     curves = {p.name: VfCurve(p) for p in PERSONAS}
 
@@ -60,7 +63,9 @@ def run(quick: bool = False) -> ExperimentResult:
         )
         stat_vdd = stat_vcs = dyn_vdd = dyn_vcs = 0.0
         for persona in PERSONAS:
-            system = PitonSystem.default(persona=persona, seed=11)
+            system = PitonSystem.default(
+                persona=persona, seed=11, tracer=ctx.trace
+            )
             system.set_operating_point(vdd, vcs, freq_hz)
             static = system.measure_static()
             idle = system.measure_idle()
@@ -88,7 +93,7 @@ def run(quick: bool = False) -> ExperimentResult:
         result.series["sram_dynamic_mw"].append(dyn_vcs * 1e3)
 
     # Table V: chip #2 at the Table III defaults.
-    chip2 = PitonSystem.default(seed=11)
+    chip2 = PitonSystem.default(seed=11, tracer=ctx.trace)
     chip2.set_operating_point(
         DEFAULT_MEASUREMENT.vdd,
         DEFAULT_MEASUREMENT.vcs,

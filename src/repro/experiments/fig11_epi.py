@@ -10,9 +10,11 @@ operands sweep minimum / random / maximum values.
 from __future__ import annotations
 
 from repro.experiments.parallel import parallel_simulate
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.isa.operands import OperandPolicy
 from repro.power.epi import energy_per_instruction, subtract_filler_energy
+from repro.silicon.variation import CHIP2
 from repro.system import PitonSystem
 from repro.util.stats import Measurement
 from repro.workloads.epi_tests import (
@@ -94,12 +96,14 @@ def _epi_from_outcome(
     return epi, test.latency_cycles
 
 
-def run(
-    quick: bool = False, cores: int | None = None, jobs: int = 1
-) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
+    quick = ctx.quick
     cores = cores if cores is not None else (4 if quick else 25)
     window = 3_000 if quick else 6_000
-    system = PitonSystem.default(seed=5)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP2), seed=5, tracer=ctx.trace
+    )
 
     # One point per (instruction, operand policy), in table order. The
     # simulations fan out; the idle measurement and the per-point
@@ -124,7 +128,7 @@ def run(
             tests[(name, policy)] = test
             yield request
 
-    outcomes = parallel_simulate(requests(), jobs=jobs)
+    outcomes = parallel_simulate(requests(), jobs=ctx.jobs, tracer=ctx.trace)
 
     p_idle = system.measure_idle().core
 

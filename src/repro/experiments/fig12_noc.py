@@ -10,8 +10,10 @@ trendline slopes the figure's legend quotes.
 
 from __future__ import annotations
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.epf import energy_per_flit, pj_per_hop_trendline
+from repro.silicon.variation import CHIP2
 from repro.system import PitonSystem
 from repro.workloads.noc_tests import (
     PATTERN_CYCLES,
@@ -24,10 +26,14 @@ from repro.workloads.noc_tests import (
 PAPER_SLOPES_PJ = {"NSW": 3.58, "HSW": 11.16, "FSW": 16.68, "FSWA": 16.98}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     hops_sweep = list(range(0, 9, 2)) if quick else list(range(0, 9))
     packets = 40 if quick else 120
-    system = PitonSystem.default(seed=9)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP2), seed=9, tracer=ctx.trace
+    )
 
     result = ExperimentResult(
         experiment_id="fig12",

@@ -9,6 +9,7 @@ trendline slopes the figure's legend quotes.
 from __future__ import annotations
 
 from repro.experiments.parallel import parallel_simulate
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.epf import pj_per_hop_trendline
 from repro.silicon.variation import CHIP3
@@ -59,13 +60,17 @@ def build_workload(
     raise ValueError(f"unknown microbenchmark {bench!r}")
 
 
-def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     core_counts = [1, 5, 9, 13, 17, 21, 25] if quick else list(
         range(1, 26, 2)
     )
     window = 3_000 if quick else 6_000
     warmup = 2_000 if quick else 4_000
-    system = PitonSystem.default(persona=CHIP3, seed=13)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP3), seed=13, tracer=ctx.trace
+    )
 
     # Simulations fan out across workers; measurements replay serially
     # in grid order, so the result is identical for any ``jobs``. The
@@ -81,7 +86,7 @@ def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
         for tpc in (1, 2)
         for count in core_counts
     )
-    outcomes = parallel_simulate(requests, jobs=jobs)
+    outcomes = parallel_simulate(requests, jobs=ctx.jobs, tracer=ctx.trace)
 
     result = ExperimentResult(
         experiment_id="fig13",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.parallel import parallel_simulate
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.silicon.variation import CHIP3
 from repro.system import PitonSystem
@@ -118,9 +119,13 @@ def _measure_point(
     )
 
 
-def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     thread_counts = [4, 8, 16, 24] if quick else list(range(2, 25, 2))
-    system = PitonSystem.default(persona=CHIP3, seed=17)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP3), seed=17, tracer=ctx.trace
+    )
 
     # The (bench, threads, tpc) grid in original iteration order; the
     # finite simulations fan out, measurements replay serially below.
@@ -135,7 +140,7 @@ def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
         _point_request(system, bench, threads, tpc)
         for bench, threads, tpc in grid
     )
-    outcomes = parallel_simulate(requests, jobs=jobs)
+    outcomes = parallel_simulate(requests, jobs=ctx.jobs, tracer=ctx.trace)
 
     idle_total_w = system.measure_idle().core.value
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.chip.offchip import FIG15_SEGMENTS, OffChipPath, fig15_total_cycles
 from repro.cache.system import CoherentMemorySystem
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.util.events import EventLedger
 
@@ -28,8 +29,9 @@ def _simulated_miss_cycles() -> int:
     return outcome.latency
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    del quick
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    del ctx  # analytic latency walk: nothing varies with the context
     result = ExperimentResult(
         experiment_id="fig15",
         title="Piton system memory latency breakdown (ldx from tile 0, "

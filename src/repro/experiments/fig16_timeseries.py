@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.board.powerlog import PowerLogger
 from repro.board.testboard import ExperimentalSystem
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.chip_power import OperatingPoint, RailPower
 from repro.workloads.spec import (
@@ -44,7 +46,9 @@ def _phase_factor(t: float, rng: np.random.Generator) -> tuple[float, float]:
     return max(0.2, compute), io_burst
 
 
-def run(quick: bool = False, benchmark: str = "gcc-166") -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, benchmark: str = "gcc-166") -> ExperimentResult:
+    quick = ctx.quick
     profile = SPEC_PROFILES[benchmark]
     bench = ExperimentalSystem(seed=23)
     temp = bench.settle_temperature()
@@ -73,16 +77,16 @@ def run(quick: bool = False, benchmark: str = "gcc-166") -> ExperimentResult:
             + io_burst,
         )
 
+    # The virtual bench's long-duration logger samples the source at
+    # the monitor poll rate, exactly like the published power logs.
     protocol = bench.board.protocol()
-    samples_needed = int(sample_span * protocol.poll_hz)
-    times, vdd_mw, vcs_mw, vio_mw = [], [], [], []
-    for k in range(samples_needed):
-        t = k / protocol.poll_hz
-        p = power_at(t)
-        times.append(t)
-        vdd_mw.append(p.vdd_w * 1e3)
-        vcs_mw.append(p.vcs_w * 1e3)
-        vio_mw.append(p.vio_w * 1e3)
+    log = PowerLogger(poll_hz=protocol.poll_hz).record(
+        power_at, sample_span
+    )
+    times = log.times_s
+    vdd_mw = [w * 1e3 for w in log.vdd_w]
+    vcs_mw = [w * 1e3 for w in log.vcs_w]
+    vio_mw = [w * 1e3 for w in log.vio_w]
 
     result = ExperimentResult(
         experiment_id="fig16",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.chip_power import ChipPowerModel, OperatingPoint
 from repro.silicon.variation import THERMAL_CHIP
@@ -49,10 +50,14 @@ def _hp_ledger(system: PitonSystem, threads: int) -> tuple[EventLedger, int]:
     return run.ledger, run.window_cycles
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     thread_counts = THREAD_COUNTS[::2] if quick else THREAD_COUNTS
     angles = FAN_ANGLES[::2] if quick else FAN_ANGLES
-    system = PitonSystem.default(persona=THERMAL_CHIP, seed=29)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(THERMAL_CHIP), seed=29, tracer=ctx.trace
+    )
     system.set_operating_point(**OPERATING)
     power_model = ChipPowerModel(THERMAL_CHIP, system.calib)
 

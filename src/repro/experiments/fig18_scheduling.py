@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.chip_power import ChipPowerModel, OperatingPoint
 from repro.silicon.variation import THERMAL_CHIP
@@ -43,10 +44,14 @@ def _phase_activity_power(system: PitonSystem, kind: str, cores: int):
     return run.ledger, run.window_cycles
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     duration_s = 90.0 if quick else 180.0
     dt_s = 0.25
-    system = PitonSystem.default(persona=THERMAL_CHIP, seed=37)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(THERMAL_CHIP), seed=37, tracer=ctx.trace
+    )
     system.set_operating_point(**OPERATING)
     power_model = ChipPowerModel(THERMAL_CHIP, system.calib)
     cooling = no_heatsink_at_angle(FAN_ANGLE)

@@ -9,11 +9,13 @@ power and energy characterization".
 from __future__ import annotations
 
 from repro.arch.area import AreaBreakdown
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    del quick
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    del ctx  # static area tables: nothing varies with the context
     area = AreaBreakdown()
     result = ExperimentResult(
         experiment_id="fig8",

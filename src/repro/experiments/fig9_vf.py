@@ -7,6 +7,7 @@ quantization.
 
 from __future__ import annotations
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP1, CHIP2, CHIP3
@@ -28,7 +29,9 @@ PAPER_MIN_FREQ_MHZ = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    quick = ctx.quick
     personas = (CHIP1, CHIP2, CHIP3)
     sweep = VDD_SWEEP[::2] if quick else VDD_SWEEP
     result = ExperimentResult(

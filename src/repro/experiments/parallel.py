@@ -29,6 +29,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.obs.trace import Tracer
 from repro.system import SimOutcome, SimRequest, run_simulation
 
 T = TypeVar("T")
@@ -60,7 +61,9 @@ def parallel_map(
 
 
 def parallel_simulate(
-    requests: Iterable[SimRequest], jobs: int = 1
+    requests: Iterable[SimRequest],
+    jobs: int = 1,
+    tracer: Tracer | None = None,
 ) -> Iterator[SimOutcome]:
     """Run every request, yielding outcomes in request order.
 
@@ -74,10 +77,34 @@ def parallel_simulate(
 
     Engines are stripped on both paths: grid experiments read only
     ledgers and counters.
+
+    An enabled ``tracer`` receives each point's build/simulate wall
+    times (stamped on the outcome by :func:`~repro.system.run_simulation`,
+    so they survive the pickle back from pool workers) as outcomes are
+    consumed, in submission order. Telemetry reads finished outcomes
+    only — it cannot perturb simulation results.
     """
     if jobs <= 1:
-        return map(_simulate_stripped, requests)
-    materialized = list(requests)
-    if len(materialized) <= 1:
-        return map(_simulate_stripped, materialized)
-    return iter(parallel_map(_simulate_stripped, materialized, jobs=jobs))
+        outcomes: Iterator[SimOutcome] = map(_simulate_stripped, requests)
+    else:
+        materialized = list(requests)
+        if len(materialized) <= 1:
+            outcomes = map(_simulate_stripped, materialized)
+        else:
+            outcomes = iter(
+                parallel_map(_simulate_stripped, materialized, jobs=jobs)
+            )
+    if tracer is None or not tracer.enabled:
+        return outcomes
+    return _record_points(outcomes, tracer)
+
+
+def _record_points(
+    outcomes: Iterable[SimOutcome], tracer: Tracer
+) -> Iterator[SimOutcome]:
+    """Fold per-point wall times into the parent tracer on the fly."""
+    for outcome in outcomes:
+        tracer.add_span("build", outcome.build_wall_s)
+        tracer.add_span("simulate", outcome.sim_wall_s)
+        tracer.point(outcome.sim_wall_s)
+        yield outcome

@@ -1,4 +1,12 @@
-"""Registry mapping experiment ids to runner callables.
+"""Registry mapping experiment ids to runners *and their metadata*.
+
+Each entry is an :class:`ExperimentSpec`: the runner module, a
+one-line description, whether the experiment fans simulations across
+worker processes (``supports_jobs``), and — for figure experiments —
+which result series to chart and the y-axis label (``chart``). The
+CLI, the benchmark harness, and ``repro list --json`` all read this
+metadata instead of keeping their own tables or sniffing runner
+signatures.
 
 Runners are imported lazily so that importing the registry (e.g. from
 the examples) stays cheap and a bug in one experiment module cannot
@@ -8,109 +16,218 @@ break enumeration of the others.
 from __future__ import annotations
 
 import importlib
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments.result import ExperimentResult
 
-#: experiment id -> (module, one-line description)
-EXPERIMENTS: dict[str, tuple[str, str]] = {
-    "table4": (
-        "repro.experiments.table4_yield",
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """Which series of a figure result to draw, and the y-axis label."""
+
+    series: tuple[str, ...]
+    y_label: str
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the tooling needs to know about one experiment."""
+
+    experiment_id: str
+    module: str
+    description: str
+    supports_jobs: bool = False
+    chart: ChartSpec | None = None
+
+    @property
+    def chartable(self) -> bool:
+        return self.chart is not None
+
+    def resolve(self) -> Callable[..., ExperimentResult]:
+        """Import the runner module and return its ``run`` callable."""
+        return importlib.import_module(self.module).run
+
+    def metadata(self) -> dict[str, object]:
+        """JSON-friendly view (``repro list --json``)."""
+        return {
+            "id": self.experiment_id,
+            "module": self.module,
+            "description": self.description,
+            "supports_jobs": self.supports_jobs,
+            "chartable": self.chartable,
+            "chart": (
+                {
+                    "series": list(self.chart.series),
+                    "y_label": self.chart.y_label,
+                }
+                if self.chart is not None
+                else None
+            ),
+        }
+
+
+def _spec(
+    experiment_id: str,
+    module_stem: str,
+    description: str,
+    supports_jobs: bool = False,
+    chart: ChartSpec | None = None,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        module=f"repro.experiments.{module_stem}",
+        description=description,
+        supports_jobs=supports_jobs,
+        chart=chart,
+    )
+
+
+_SPECS = (
+    _spec(
+        "table4",
+        "table4_yield",
         "Chip testing statistics (yield buckets of 32 tested die)",
     ),
-    "fig8": (
-        "repro.experiments.fig8_area",
+    _spec(
+        "fig8",
+        "fig8_area",
         "Area breakdown at chip/tile/core levels",
     ),
-    "fig9": (
-        "repro.experiments.fig9_vf",
+    _spec(
+        "fig9",
+        "fig9_vf",
         "Max Linux-boot frequency vs VDD for three chips",
+        chart=ChartSpec(("chip1", "chip2", "chip3"), "MHz"),
     ),
-    "fig10": (
-        "repro.experiments.fig10_static_idle",
+    _spec(
+        "fig10",
+        "fig10_static_idle",
         "Static and idle power vs voltage/frequency (and Table V)",
+        chart=ChartSpec(("idle_total_mw", "static_total_mw"), "mW"),
     ),
-    "fig11": (
-        "repro.experiments.fig11_epi",
+    _spec(
+        "fig11",
+        "fig11_epi",
         "Energy per instruction by class and operand value (and Table VI)",
+        supports_jobs=True,
     ),
-    "table7": (
-        "repro.experiments.table7_memory",
+    _spec(
+        "table7",
+        "table7_memory",
         "Memory system energy for cache hit/miss scenarios",
     ),
-    "fig12": (
-        "repro.experiments.fig12_noc",
+    _spec(
+        "fig12",
+        "fig12_noc",
         "NoC energy per flit vs hop count and switching pattern",
+        chart=ChartSpec(("NSW", "HSW", "FSW", "FSWA"), "pJ"),
     ),
-    "fig13": (
-        "repro.experiments.fig13_scaling",
+    _spec(
+        "fig13",
+        "fig13_scaling",
         "Power scaling with core count (Int/HP/Hist, 1 and 2 T/C)",
+        supports_jobs=True,
+        chart=ChartSpec(
+            (
+                "Int_1tc",
+                "Int_2tc",
+                "HP_1tc",
+                "HP_2tc",
+                "Hist_1tc",
+                "Hist_2tc",
+            ),
+            "mW",
+        ),
     ),
-    "fig14": (
-        "repro.experiments.fig14_mt_mc",
+    _spec(
+        "fig14",
+        "fig14_mt_mc",
         "Multithreading vs multicore power and energy",
+        supports_jobs=True,
     ),
-    "table8": (
-        "repro.experiments.table8_specs",
+    _spec(
+        "table8",
+        "table8_specs",
         "Sun Fire T2000 and Piton system specifications",
     ),
-    "table9": (
-        "repro.experiments.table9_spec",
+    _spec(
+        "table9",
+        "table9_spec",
         "SPECint 2006 performance, power, and energy",
     ),
-    "fig15": (
-        "repro.experiments.fig15_latency",
+    _spec(
+        "fig15",
+        "fig15_latency",
         "Memory-latency breakdown of a ldx round trip",
     ),
-    "fig16": (
-        "repro.experiments.fig16_timeseries",
+    _spec(
+        "fig16",
+        "fig16_timeseries",
         "Per-rail power time series over a gcc-166 run",
+        chart=ChartSpec(("vdd_mw", "vio_mw", "vcs_mw"), "mW"),
     ),
-    "fig17": (
-        "repro.experiments.fig17_thermal",
+    _spec(
+        "fig17",
+        "fig17_thermal",
         "Chip power vs package temperature for active thread counts",
     ),
-    "fig18": (
-        "repro.experiments.fig18_scheduling",
+    _spec(
+        "fig18",
+        "fig18_scheduling",
         "Synchronized vs interleaved scheduling power/temperature",
     ),
-    "table10": (
-        "repro.experiments.table10_related",
+    _spec(
+        "table10",
+        "table10_related",
         "Industry/academic processor comparison survey",
     ),
     # --- ablations: mechanisms the chip carries but the paper never
     # exercises (DESIGN.md extensions) --------------------------------------
-    "ablation_drafting": (
-        "repro.experiments.ablation_drafting",
+    _spec(
+        "ablation_drafting",
+        "ablation_drafting",
         "Execution Drafting energy saving on identical threads",
     ),
-    "ablation_dvfs": (
-        "repro.experiments.ablation_dvfs",
+    _spec(
+        "ablation_dvfs",
+        "ablation_dvfs",
         "Energy-optimal DVFS point for fixed work",
     ),
-    "ablation_mitts": (
-        "repro.experiments.ablation_mitts",
+    _spec(
+        "ablation_mitts",
+        "ablation_mitts",
         "MITTS bandwidth shaping between two tenants",
     ),
-    "ablation_multichip": (
-        "repro.experiments.ablation_multichip",
+    _spec(
+        "ablation_multichip",
+        "ablation_multichip",
         "Cross-socket shared-memory cost and the CDR saving",
     ),
-    "ablation_dtm": (
-        "repro.experiments.ablation_dtm",
+    _spec(
+        "ablation_dtm",
+        "ablation_dtm",
         "Dynamic thermal management vs the static Fmax limit",
     ),
+)
+
+#: experiment id -> spec, in paper order.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in _SPECS
 }
 
 
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """Return the ``run`` callable for one experiment id."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Return one experiment's registry entry."""
     try:
-        module_name, _ = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)}"
         ) from None
-    module = importlib.import_module(module_name)
-    return module.run
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Return the ``run`` callable for one experiment id."""
+    return get_spec(experiment_id).resolve()

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.obs.manifest import RunManifest
 from repro.util.tables import render_table
+
+#: Version of the ``to_dict``/``to_json`` document layout. Bump when a
+#: key is renamed/removed or its meaning changes; additions are
+#: backward compatible and do not require a bump.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -16,6 +23,9 @@ class ExperimentResult:
     results); ``paper_reference`` holds the corresponding published
     values where the paper states them, keyed the same way, so
     EXPERIMENTS.md and the regression tests can diff them.
+    ``manifest`` records how the run was configured and where its wall
+    time went (attached by the runner wrapper; see
+    :mod:`repro.experiments.context`).
     """
 
     experiment_id: str
@@ -25,6 +35,7 @@ class ExperimentResult:
     series: dict[str, list[float]] = field(default_factory=dict)
     paper_reference: Mapping[str, object] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    manifest: RunManifest | None = None
 
     def render(self) -> str:
         out = render_table(
@@ -37,3 +48,56 @@ class ExperimentResult:
     def row_dict(self, key_column: int = 0) -> dict[object, Sequence[object]]:
         """Index rows by one column (for tests)."""
         return {row[key_column]: row for row in self.rows}
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable document (the ``--json`` payload)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "series": {k: list(v) for k, v in self.series.items()},
+            "paper_reference": dict(self.paper_reference),
+            "notes": list(self.notes),
+            "manifest": (
+                self.manifest.to_dict()
+                if self.manifest is not None
+                else None
+            ),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema_version {version!r} "
+                f"(supported: {RESULT_SCHEMA_VERSION})"
+            )
+        manifest_doc = data.get("manifest")
+        return cls(
+            experiment_id=data["experiment_id"],  # type: ignore[arg-type]
+            title=data["title"],  # type: ignore[arg-type]
+            headers=list(data.get("headers", ())),  # type: ignore[arg-type]
+            rows=[tuple(row) for row in data.get("rows", ())],  # type: ignore[union-attr]
+            series={
+                k: list(v)
+                for k, v in data.get("series", {}).items()  # type: ignore[union-attr]
+            },
+            paper_reference=dict(data.get("paper_reference", {})),  # type: ignore[arg-type]
+            notes=list(data.get("notes", ())),  # type: ignore[arg-type]
+            manifest=(
+                RunManifest.from_dict(manifest_doc)  # type: ignore[arg-type]
+                if manifest_doc is not None
+                else None
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.obs.trace import Tracer
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP2, ChipPersona
 from repro.system import PitonSystem
@@ -93,6 +94,7 @@ def sweep(
     window_cycles: int = 4_000,
     seed: int = 0,
     jobs: int = 1,
+    tracer: "Tracer | None" = None,
 ) -> SweepResult:
     """Measure ``workload_factory`` at every grid point.
 
@@ -103,7 +105,9 @@ def sweep(
     ``jobs > 1`` fans the per-point simulations across worker
     processes; every point gets its own bench (its own RNG stream
     seeded with ``seed``), and measurements run serially in grid
-    order, so results are identical for any ``jobs``.
+    order, so results are identical for any ``jobs``. An enabled
+    ``tracer`` collects per-point wall times and measurement spans,
+    exactly as the registry experiments do.
     """
     from repro.experiments.parallel import parallel_simulate
 
@@ -112,7 +116,9 @@ def sweep(
     requests = []
     for point in points:
         freq = point.resolved_freq_hz()
-        system = PitonSystem.default(persona=point.persona, seed=seed)
+        system = PitonSystem.default(
+            persona=point.persona, seed=seed, tracer=tracer
+        )
         system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
         systems.append((point, freq, system))
         requests.append(
@@ -122,7 +128,7 @@ def sweep(
                 window_cycles=window_cycles,
             )
         )
-    outcomes = parallel_simulate(requests, jobs=jobs)
+    outcomes = parallel_simulate(requests, jobs=jobs, tracer=tracer)
 
     for (point, freq, system), outcome in zip(systems, outcomes):
         idle = system.measure_idle().core.value

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 
 
@@ -60,8 +61,9 @@ TABLE10 = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    del quick
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    del ctx  # survey table: nothing varies with the context
     result = ExperimentResult(
         experiment_id="table10",
         title="Industry and academic silicon: openness and published "

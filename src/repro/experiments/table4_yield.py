@@ -6,6 +6,7 @@ the results into the paper's five buckets.
 
 from __future__ import annotations
 
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.silicon.yield_model import (
     PAPER_SHARES,
@@ -44,7 +45,8 @@ _BUCKET_PRESENTATION = (
 )
 
 
-def run(quick: bool = False, seed: int = 233, tested: int = 32) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, seed: int = 233, tested: int = 32) -> ExperimentResult:
     """Test a lot of ``tested`` die and bucket the outcomes, then run
     the SRAM repair flow (our completion of the paper's in-development
     feature) over the repairable die.
@@ -53,7 +55,7 @@ def run(quick: bool = False, seed: int = 233, tested: int = 32) -> ExperimentRes
     the published counts (19/7/4/1/1) — any seed reproduces the same
     distribution in expectation (see the expected-shares note).
     """
-    del quick
+    del ctx  # yield statistics do not vary with run speed/parallelism
     model = YieldModel(YieldParameters(), RngFactory(seed))
     summary = model.test_lot(tested)
     repairs = model.repair_lot(summary)

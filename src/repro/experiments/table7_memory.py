@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from repro.arch.floorplan import Floorplan
 from repro.cache.latency import MemoryLatencyModel
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.epi import energy_per_instruction
+from repro.silicon.variation import CHIP2
 from repro.system import PitonSystem
 from repro.workloads.memtests import SCENARIOS, build_memtest
 
@@ -47,10 +49,14 @@ def _nominal_latency(scenario: str, hops: int) -> int:
     return 424  # measured average; the model value is derived below
 
 
-def run(quick: bool = False, cores: int | None = None) -> ExperimentResult:
+@experiment_runner
+def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
+    quick = ctx.quick
     cores = cores if cores is not None else (4 if quick else 25)
     window = 4_000 if quick else 12_000
-    system = PitonSystem.default(seed=5)
+    system = PitonSystem.default(
+        persona=ctx.resolve_persona(CHIP2), seed=5, tracer=ctx.trace
+    )
     p_idle = system.measure_idle().core
 
     result = ExperimentResult(

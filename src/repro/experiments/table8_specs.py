@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.cache.latency import MemoryLatencyModel
 from repro.chip.dram import DdrTimings
 from repro.chip.offchip import fig15_total_cycles
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 
 PITON_CLOCK_HZ = 500.05e6
@@ -31,8 +32,9 @@ def _piton_l2_latency_range_ns() -> tuple[float, float]:
     return model.local_l2_hit() * ns, model.l2_hit(8, 1) * ns
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    del quick
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    del ctx  # published spec sheet: nothing varies with the context
     timings = DdrTimings()
     local_ns, remote_ns = _piton_l2_latency_range_ns()
     nominal_ns = fig15_total_cycles() * 1e9 / PITON_CLOCK_HZ

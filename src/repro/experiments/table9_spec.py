@@ -9,6 +9,7 @@ Energy is power times time, as in the paper.
 from __future__ import annotations
 
 from repro.board.testboard import ExperimentalSystem
+from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.chip_power import OperatingPoint
 from repro.workloads.spec import (
@@ -36,8 +37,9 @@ PAPER_TABLE9 = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    del quick
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    del ctx  # profile replay: nothing varies with the context
     bench = ExperimentalSystem(seed=19)
     # Power during a SPEC run: idle + one busy core's events + the
     # Linux background on the other cores + the profile's VIO activity.

@@ -1,0 +1,40 @@
+"""Observability layer: span timers, event-rate counters, manifests.
+
+The paper's contribution is instrumentation — 17 Hz rail monitors,
+power traces, per-event energy attribution — and this package is the
+reproduction's equivalent for the *software* bench: where does wall
+time go (build vs simulate vs measure, per grid point), and what event
+rates does each hardware component sustain per simulated cycle and per
+wall-second.
+
+Design constraints (enforced by tests):
+
+* **zero-cost when disabled** — the default :data:`NULL_TRACER` turns
+  every hook into a no-op; no timing calls, no dict writes, and the
+  simulator hot loop is never touched either way;
+* **no result perturbation** — telemetry only *observes* wall clocks
+  and finished ledgers, so simulated outputs are bit-identical with
+  tracing on or off;
+* **pool-safe** — workers never share a tracer; they stamp wall times
+  onto the picklable :class:`~repro.system.SimOutcome` and the parent
+  aggregates them back (see :mod:`repro.experiments.parallel`).
+"""
+
+from repro.obs.counters import component_of, component_rates
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+)
+from repro.obs.trace import NULL_TRACER, SpanStats, Tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "NULL_TRACER",
+    "RunManifest",
+    "SpanStats",
+    "Tracer",
+    "build_manifest",
+    "component_of",
+    "component_rates",
+]

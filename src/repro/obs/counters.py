@@ -1,0 +1,83 @@
+"""Per-component event-rate counters derived from event ledgers.
+
+The :class:`~repro.util.events.EventLedger` is flat (event name ->
+count); the power model prices it per event. For observability we want
+the orthogonal view the paper's per-block attribution implies: how
+many events each hardware component sustained, per simulated cycle and
+per wall-second of simulation. Event names are namespaced
+(``l2.read``, ``noc1.flit_hop``), so classification is a prefix map.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: event-name prefix -> hardware component bucket. L1s live inside the
+#: core; the directory is co-located with the L2 slices; MITTS shapes
+#: NoC injection; the miss path (``mem.*``) and DRAM form the memory
+#: component; the chip bridge and chipset are the off-chip I/O path.
+_PREFIX_COMPONENT: dict[str, str] = {
+    "core": "core",
+    "instr": "core",
+    "l1i": "core",
+    "l1d": "core",
+    "l15": "l15",
+    "l2": "l2",
+    "dir": "l2",
+    "noc1": "noc",
+    "noc2": "noc",
+    "noc3": "noc",
+    "mitts": "noc",
+    "mem": "dram",
+    "dram": "dram",
+    "io": "io",
+    "chipbridge": "io",
+    "chipset": "io",
+}
+
+#: Deterministic presentation order for rate tables/manifests.
+COMPONENT_ORDER = ("core", "l15", "l2", "noc", "dram", "io", "other")
+
+
+def component_of(event_name: str) -> str:
+    """Hardware component an event belongs to (``other`` if unknown)."""
+    prefix = event_name.split(".", 1)[0]
+    return _PREFIX_COMPONENT.get(prefix, "other")
+
+
+def component_rates(
+    event_counts: Mapping[str, float],
+    sim_cycles: float,
+    wall_s: float,
+) -> dict[str, dict[str, float]]:
+    """Aggregate a flat event-count map into per-component rates.
+
+    Returns ``{component: {"events", "per_cycle", "per_wall_s"}}`` in
+    :data:`COMPONENT_ORDER`, components with zero events omitted.
+    ``per_cycle`` divides by *simulated* cycles (architectural
+    intensity); ``per_wall_s`` divides by simulation wall seconds
+    (simulator throughput). Zero denominators yield a 0.0 rate rather
+    than raising, so empty/instant runs still produce a manifest.
+    """
+    totals: dict[str, float] = {}
+    for name, n in event_counts.items():
+        comp = component_of(name)
+        totals[comp] = totals.get(comp, 0.0) + n
+
+    out: dict[str, dict[str, float]] = {}
+    for comp in COMPONENT_ORDER:
+        events = totals.pop(comp, 0.0)
+        if events:
+            out[comp] = {
+                "events": events,
+                "per_cycle": events / sim_cycles if sim_cycles else 0.0,
+                "per_wall_s": events / wall_s if wall_s else 0.0,
+            }
+    # Future-proofing: buckets outside COMPONENT_ORDER still show up.
+    for comp, events in sorted(totals.items()):
+        out[comp] = {
+            "events": events,
+            "per_cycle": events / sim_cycles if sim_cycles else 0.0,
+            "per_wall_s": events / wall_s if wall_s else 0.0,
+        }
+    return out

@@ -1,0 +1,138 @@
+"""The per-run manifest attached to every experiment result.
+
+A :class:`RunManifest` is the machine-readable record of *how* a
+result was produced: run configuration (quick/jobs/persona/operating
+point/interleave), where wall time went (span totals and per-point
+simulation times), and what event rates each component sustained. It
+serializes with its own schema version inside
+``ExperimentResult.to_dict()`` so downstream consumers can detect
+drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.obs.counters import component_rates
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.context import RunContext
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """How one experiment run was configured and where its time went."""
+
+    experiment_id: str
+    quick: bool
+    jobs: int
+    telemetry: bool
+    wall_s_total: float
+    persona: str | None = None
+    interleave: str | None = None
+    operating_point: dict[str, float] | None = None
+    points: int = 0
+    point_wall_s: list[float] = field(default_factory=list)
+    spans: dict[str, dict[str, float]] = field(default_factory=dict)
+    event_rates: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    extra: dict[str, object] = field(default_factory=dict)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "telemetry": self.telemetry,
+            "wall_s_total": self.wall_s_total,
+            "persona": self.persona,
+            "interleave": self.interleave,
+            "operating_point": self.operating_point,
+            "points": self.points,
+            "point_wall_s": list(self.point_wall_s),
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+            "event_rates": {
+                k: dict(v) for k, v in self.event_rates.items()
+            },
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
+        version = data.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema_version {version!r} "
+                f"(supported: {MANIFEST_SCHEMA_VERSION})"
+            )
+        fields = {k: v for k, v in data.items() if k != "schema_version"}
+        return cls(**fields)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ rendering
+    def summary(self) -> str:
+        """Short human-readable telemetry digest (``--trace`` output)."""
+        lines = [
+            f"run manifest: {self.experiment_id} "
+            f"(quick={self.quick}, jobs={self.jobs}, "
+            f"persona={self.persona or '-'}, "
+            f"points={self.points})",
+            f"  wall total: {self.wall_s_total:.3f}s",
+        ]
+        for name, stats in sorted(self.spans.items()):
+            lines.append(
+                f"  span {name:12s} {stats['total_s']:8.3f}s "
+                f"x{stats['count']:<4.0f} (max {stats['max_s']:.3f}s)"
+            )
+        for comp, rates in self.event_rates.items():
+            lines.append(
+                f"  rate {comp:12s} {rates['events']:12.0f} events  "
+                f"{rates['per_cycle']:8.3f}/cycle  "
+                f"{rates['per_wall_s']:12.0f}/wall-s"
+            )
+        return "\n".join(lines)
+
+
+def build_manifest(
+    experiment_id: str,
+    ctx: "RunContext",
+    tracer: Tracer,
+    wall_s_total: float,
+) -> RunManifest:
+    """Assemble the manifest for one finished experiment run.
+
+    With a disabled tracer this still produces the configuration half
+    (ids, flags, total wall time) so every result carries a manifest;
+    spans, per-point times, and event rates fill in when telemetry was
+    on. Event rates use simulation wall time (the ``simulate`` span)
+    as their wall denominator when available, since that is the window
+    the events were generated in.
+    """
+    meta = dict(tracer.meta)
+    sim_wall = tracer.span_total_s("simulate") or wall_s_total
+    return RunManifest(
+        experiment_id=experiment_id,
+        quick=ctx.quick,
+        jobs=ctx.jobs,
+        telemetry=tracer.enabled,
+        wall_s_total=wall_s_total,
+        persona=meta.pop("persona", None),
+        interleave=meta.pop("interleave", None),
+        operating_point=meta.pop("operating_point", None),
+        points=len(tracer.point_wall_s),
+        point_wall_s=list(tracer.point_wall_s),
+        spans={
+            name: stats.as_dict()
+            for name, stats in tracer.spans.items()
+        },
+        event_rates=component_rates(
+            tracer.event_counts, tracer.sim_cycles, sim_wall
+        ),
+        extra=meta,
+    )

@@ -1,0 +1,157 @@
+"""Span timers and run-wide telemetry accumulation.
+
+A :class:`Tracer` collects everything one experiment run produces:
+
+* **spans** — named wall-clock timers around pipeline stages (request
+  build, simulate, measure), aggregated by name;
+* **points** — per-grid-point simulation wall times, in grid order;
+* **event counts** — ledger event totals plus simulated cycles, the
+  raw material for per-component rate counters;
+* **meta** — bench facts (persona, interleave, operating point) noted
+  by whoever knows them.
+
+The disabled singleton :data:`NULL_TRACER` makes every hook a no-op so
+library callers that never asked for telemetry pay nothing. Tracers
+are parent-process objects: pool workers report wall times through
+:class:`~repro.system.SimOutcome` fields instead of sharing one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.util.events import EventLedger
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every span recorded under one name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, dt_s: float) -> None:
+        self.count += 1
+        self.total_s += dt_s
+        if dt_s > self.max_s:
+            self.max_s = dt_s
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+        }
+
+
+class _Span:
+    """Times one ``with`` block into its tracer."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.add_span(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Accumulates spans, point timings, event counts, and metadata."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: dict[str, SpanStats] = {}
+        self.meta: dict[str, object] = {}
+        self.point_wall_s: list[float] = []
+        self.event_counts: dict[str, float] = {}
+        self.sim_cycles: float = 0.0
+
+    # ------------------------------------------------------------- recording
+    def span(self, name: str):
+        """Context manager timing one block under ``name``."""
+        return _Span(self, name)
+
+    def add_span(self, name: str, dt_s: float) -> None:
+        """Fold an externally measured duration into ``name``'s stats.
+
+        This is how worker wall times (carried back on
+        ``SimOutcome.sim_wall_s``) are aggregated in the parent.
+        """
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats()
+        stats.add(dt_s)
+
+    def note(self, key: str, value: object) -> None:
+        """Record one bench fact (last write wins)."""
+        self.meta[key] = value
+
+    def point(self, sim_wall_s: float) -> None:
+        """Record one grid point's simulation wall time, in grid order."""
+        self.point_wall_s.append(sim_wall_s)
+
+    def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:
+        """Fold one measured window's events into the run totals."""
+        counts = self.event_counts
+        for name, n in ledger.counts.items():
+            counts[name] = counts.get(name, 0.0) + n
+        self.sim_cycles += cycles
+
+    # -------------------------------------------------------------- reading
+    def span_total_s(self, name: str) -> float:
+        stats = self.spans.get(name)
+        return stats.total_s if stats is not None else 0.0
+
+
+class _NullTracer(Tracer):
+    """Disabled tracer: every hook is a no-op, every read is empty."""
+
+    enabled = False
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def add_span(self, name: str, dt_s: float) -> None:
+        pass
+
+    def note(self, key: str, value: object) -> None:
+        pass
+
+    def point(self, sim_wall_s: float) -> None:
+        pass
+
+    def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:
+        pass
+
+
+#: Shared disabled tracer; the default everywhere telemetry is optional.
+NULL_TRACER = _NullTracer()

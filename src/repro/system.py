@@ -26,6 +26,7 @@ bit-identical to a fully serial run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.arch.params import DEFAULT_MEASUREMENT, MeasurementDefaults, PitonConfig
@@ -38,6 +39,7 @@ from repro.core.multicore import MulticoreEngine, RunResult
 from repro.isa.program import Program
 from repro.workloads.base import TileProgram, normalize_workload
 from repro.power.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.silicon.variation import CHIP2, ChipPersona
 from repro.thermal.cooling import STOCK_HEATSINK_FAN, CoolingSetup
 from repro.util.events import EventLedger
@@ -88,11 +90,21 @@ class SimRequest:
 @dataclass
 class SimOutcome:
     """What one simulation produced: the event ledger for the measured
-    window and the run counters. ``engine`` survives only in-process."""
+    window and the run counters. ``engine`` survives only in-process.
+
+    ``build_wall_s``/``sim_wall_s`` are wall-clock telemetry stamped by
+    :func:`run_simulation`. They are plain floats, so they pickle back
+    from pool workers, which is how per-point timings reach the
+    parent's tracer (see :mod:`repro.experiments.parallel`); they never
+    feed back into simulation or measurement, so results are identical
+    whether anyone reads them or not.
+    """
 
     ledger: EventLedger
     result: RunResult
     engine: MulticoreEngine | None = None
+    build_wall_s: float = 0.0
+    sim_wall_s: float = 0.0
 
 
 def build_engine(
@@ -128,6 +140,7 @@ def run_simulation(request: SimRequest) -> SimOutcome:
     whether it runs here, in a pool worker, or in any order relative
     to other requests.
     """
+    build_start = time.perf_counter()
     warmup_ledger = EventLedger()
     engine = build_engine(
         request.config,
@@ -139,11 +152,17 @@ def run_simulation(request: SimRequest) -> SimOutcome:
     for tile, tp in request.workload.items():
         engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
         engine.memory.load_image(tp.memory_image)
+    sim_start = time.perf_counter()
+    build_wall_s = sim_start - build_start
 
     if request.window_cycles is None:
         result = engine.run(until_done=True, max_cycles=request.max_cycles)
         return SimOutcome(
-            ledger=warmup_ledger, result=result, engine=engine
+            ledger=warmup_ledger,
+            result=result,
+            engine=engine,
+            build_wall_s=build_wall_s,
+            sim_wall_s=time.perf_counter() - sim_start,
         )
 
     if request.warmup_cycles:
@@ -151,7 +170,13 @@ def run_simulation(request: SimRequest) -> SimOutcome:
     window_ledger = EventLedger()
     _rebind_engine_ledger(engine, window_ledger)
     result = engine.run(cycles=request.window_cycles)
-    return SimOutcome(ledger=window_ledger, result=result, engine=engine)
+    return SimOutcome(
+        ledger=window_ledger,
+        result=result,
+        engine=engine,
+        build_wall_s=build_wall_s,
+        sim_wall_s=time.perf_counter() - sim_start,
+    )
 
 
 def _rebind_engine_ledger(
@@ -183,12 +208,14 @@ class PitonSystem:
         defaults: MeasurementDefaults = DEFAULT_MEASUREMENT,
         seed: int = 0,
         interleave: Interleave = Interleave.LOW,
+        tracer: Tracer | None = None,
     ):
         self.persona = persona
         self.config = config or PitonConfig()
         self.calib = calib
         self.defaults = defaults
         self.interleave = interleave
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.bench = ExperimentalSystem(
             persona=persona,
             calib=calib,
@@ -196,6 +223,12 @@ class PitonSystem:
             defaults=defaults,
             seed=seed,
         )
+        if self.tracer.enabled:
+            self.tracer.note("persona", persona.name)
+            self.tracer.note("interleave", interleave.name)
+            self.tracer.note(
+                "operating_point", self._operating_point_note()
+            )
 
     @classmethod
     def default(cls, **kwargs) -> "PitonSystem":
@@ -254,6 +287,22 @@ class PitonSystem:
             max_cycles=max_cycles,
         )
 
+    def _traced_simulation(self, request: SimRequest) -> SimOutcome:
+        """Run one simulation in-process, reporting its wall times.
+
+        The direct (non-pooled) counterpart of the tracer aggregation
+        in :mod:`repro.experiments.parallel`: simulation outputs are
+        untouched, only the outcome's wall-time stamps are folded into
+        the tracer.
+        """
+        outcome = run_simulation(request)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add_span("build", outcome.build_wall_s)
+            tracer.add_span("simulate", outcome.sim_wall_s)
+            tracer.point(outcome.sim_wall_s)
+        return outcome
+
     # ----------------------------------------------------- run + measurement
     def measure_outcome(self, outcome: SimOutcome) -> WorkloadRun:
         """Take the bench measurement for a finished simulation.
@@ -263,9 +312,12 @@ class PitonSystem:
         processes must invoke it serially, in submission order, to
         reproduce the serial RNG stream exactly.
         """
-        measurement = self.bench.measure_workload(
-            outcome.ledger, outcome.result.cycles
-        )
+        tracer = self.tracer
+        with tracer.span("measure"):
+            measurement = self.bench.measure_workload(
+                outcome.ledger, outcome.result.cycles
+            )
+        tracer.observe_ledger(outcome.ledger, outcome.result.cycles)
         return WorkloadRun(
             measurement=measurement,
             result=outcome.result,
@@ -294,7 +346,7 @@ class PitonSystem:
             window_cycles=window_cycles,
             execution_drafting=execution_drafting,
         )
-        return self.measure_outcome(run_simulation(request))
+        return self.measure_outcome(self._traced_simulation(request))
 
     def run_to_completion(
         self,
@@ -307,7 +359,7 @@ class PitonSystem:
         request = self.sim_request_to_completion(
             programs_by_tile, max_cycles=max_cycles
         )
-        return self.measure_outcome(run_simulation(request))
+        return self.measure_outcome(self._traced_simulation(request))
 
     # ------------------------------------------------------------ measurement
     def measure_static(self) -> RailMeasurement:
@@ -320,6 +372,19 @@ class PitonSystem:
         self, vdd: float, vcs: float, freq_hz: float, vio: float = 1.80
     ) -> None:
         self.bench.set_operating_point(vdd, vcs, freq_hz, vio)
+        if self.tracer.enabled:
+            self.tracer.note(
+                "operating_point", self._operating_point_note()
+            )
+
+    def _operating_point_note(self) -> dict[str, float]:
+        rails = self.bench.board.rail_voltages()
+        return {
+            "vdd": rails["vdd"],
+            "vcs": rails["vcs"],
+            "vio": rails["vio"],
+            "freq_mhz": self.bench.freq_hz * 1e-6,
+        }
 
     @property
     def freq_hz(self) -> float:

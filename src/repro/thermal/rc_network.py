@@ -67,7 +67,17 @@ class ThermalNetwork:
         with internal sub-stepping for stability."""
         if dt_s <= 0:
             raise ValueError("dt must be positive")
-        min_tau = min(s.tau_s for s in self.stages)
+        # Explicit-Euler stability is set by each node's *effective*
+        # time constant: its capacity over the total conductance
+        # attached to it (own R downstream plus the upstream stage's R
+        # coupling heat in), not by the stage's own R*C alone.
+        taus = []
+        for i, stage in enumerate(self.stages):
+            g = 1.0 / stage.r_c_per_w
+            if i > 0:
+                g += 1.0 / self.stages[i - 1].r_c_per_w
+            taus.append(stage.c_j_per_c / g)
+        min_tau = min(taus)
         substeps = max(1, int(dt_s / (0.1 * min_tau)) + 1)
         h = dt_s / substeps
         n = len(self.stages)

@@ -5,14 +5,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import EXPERIMENTS, RunContext, get_experiment
 
 
 @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
 def test_every_experiment_runs_and_renders(experiment_id):
     if experiment_id in ("fig11", "fig13", "fig14", "table7"):
         pytest.skip("covered by dedicated shape tests (slow)")
-    result = get_experiment(experiment_id)(quick=True)
+    result = get_experiment(experiment_id)(RunContext(quick=True))
     assert result.rows
     text = result.render()
     assert experiment_id in text
@@ -23,9 +23,20 @@ def test_registry_rejects_unknown():
         get_experiment("fig99")
 
 
+def test_legacy_kwarg_style_still_works():
+    """Pre-RunContext call style keeps working through the shim and
+    produces exactly the same rows."""
+    runner = get_experiment("fig8")
+    with pytest.warns(DeprecationWarning):
+        legacy = runner(quick=True)
+    modern = runner(RunContext(quick=True))
+    assert legacy.rows == modern.rows
+    assert legacy.series == modern.series
+
+
 class TestTable4Shape:
     def test_buckets_sum(self):
-        result = get_experiment("table4")(quick=True)
+        result = get_experiment("table4")(RunContext(quick=True))
         counts = [row[3] for row in result.rows]
         assert sum(counts) == 32
         # Good chips are the majority, as in the paper.
@@ -34,7 +45,7 @@ class TestTable4Shape:
 
 class TestFig8Shape:
     def test_core_dominates_tile(self):
-        result = get_experiment("fig8")(quick=True)
+        result = get_experiment("fig8")(RunContext(quick=True))
         rows = {(r[0], r[1]): r[2] for r in result.rows}
         assert rows[("tile", "core")] == 47.00
         assert rows[("tile", "l2_cache")] == 22.16
@@ -48,7 +59,7 @@ class TestFig8Shape:
 
 class TestFig9Shape:
     def test_curves(self):
-        result = get_experiment("fig9")(quick=False)
+        result = get_experiment("fig9")(RunContext())
         chip1 = result.series["chip1"]
         chip2 = result.series["chip2"]
         vdds = [row[0] for row in result.rows]
@@ -63,7 +74,7 @@ class TestFig9Shape:
         assert chip2[: prev + 1] == sorted(chip2[: prev + 1])
 
     def test_min_curve_tracks_paper_band(self):
-        result = get_experiment("fig9")(quick=False)
+        result = get_experiment("fig9")(RunContext())
         for row in result.rows:
             vdd, minimum, paper = row[0], row[4], row[5]
             assert minimum == pytest.approx(paper, rel=0.15), vdd
@@ -71,7 +82,7 @@ class TestFig9Shape:
 
 class TestFig10Shape:
     def test_monotonic_and_split(self):
-        result = get_experiment("fig10")(quick=True)
+        result = get_experiment("fig10")(RunContext(quick=True))
         idle = result.series["idle_total_mw"]
         static = result.series["static_total_mw"]
         assert idle == sorted(idle)
@@ -82,7 +93,7 @@ class TestFig10Shape:
         assert all(s < 0.15 * c for s, c in zip(sram_dyn, core_dyn))
 
     def test_table5_anchors(self):
-        result = get_experiment("fig10")(quick=True)
+        result = get_experiment("fig10")(RunContext(quick=True))
         assert result.series["table5_static_mw"][0] == pytest.approx(
             389.3, rel=0.02
         )
@@ -93,7 +104,7 @@ class TestFig10Shape:
 
 class TestFig15Shape:
     def test_total_and_simulation_agree(self):
-        result = get_experiment("fig15")(quick=True)
+        result = get_experiment("fig15")(RunContext(quick=True))
         total = result.series["total_cycles"][0]
         simulated = result.series["simulated_cycles"][0]
         assert total == 395
@@ -101,7 +112,7 @@ class TestFig15Shape:
 
     def test_gateway_dominates_offchip(self):
         """The paper's point: FPGA buffering, not DRAM, eats the trip."""
-        result = get_experiment("fig15")(quick=True)
+        result = get_experiment("fig15")(RunContext(quick=True))
         by_component: dict[str, int] = {}
         for row in result.rows:
             if row[0] == "TOTAL":
@@ -112,7 +123,7 @@ class TestFig15Shape:
 
 class TestFig16Shape:
     def test_rail_ranges(self):
-        result = get_experiment("fig16")(quick=True)
+        result = get_experiment("fig16")(RunContext(quick=True))
         rows = {r[0]: r for r in result.rows}
         vdd_mean = rows["Core (VDD)"][1]
         vcs_mean = rows["SRAM (VCS)"][1]
@@ -125,7 +136,7 @@ class TestFig16Shape:
 
 class TestFig17Shape:
     def test_exponential_and_ordered(self):
-        result = get_experiment("fig17")(quick=True)
+        result = get_experiment("fig17")(RunContext(quick=True))
         # Power rises with temperature within each thread count.
         for threads in (0, 20, 40):
             powers = result.series[f"{threads}_threads_power_mw"]
@@ -138,7 +149,7 @@ class TestFig17Shape:
 
 class TestFig18Shape:
     def test_interleaved_cooler_smaller_swing(self):
-        result = get_experiment("fig18")(quick=True)
+        result = get_experiment("fig18")(RunContext(quick=True))
         rows = {r[0]: r for r in result.rows}
         sync, inter = rows["synchronized"], rows["interleaved"]
         assert inter[3] < sync[3]  # cooler on average
@@ -148,7 +159,7 @@ class TestFig18Shape:
 
 class TestTable8Shape:
     def test_derived_latencies(self):
-        result = get_experiment("table8")(quick=True)
+        result = get_experiment("table8")(RunContext(quick=True))
         assert result.series["piton_memory_latency_ns"][0] == (
             pytest.approx(848, rel=0.02)
         )
@@ -159,7 +170,7 @@ class TestTable8Shape:
 
 class TestTable9Shape:
     def test_times_and_power(self):
-        result = get_experiment("table9")(quick=True)
+        result = get_experiment("table9")(RunContext(quick=True))
         by_name = result.row_dict()
         for name, ref in result.paper_reference.items():
             row = by_name[name]
@@ -172,12 +183,12 @@ class TestTable9Shape:
             assert row[5] == pytest.approx(ref["energy_kj"], rel=0.08)
 
     def test_hmmer_highest_power(self):
-        result = get_experiment("table9")(quick=True)
+        result = get_experiment("table9")(RunContext(quick=True))
         powers = {row[0]: row[4] for row in result.rows}
         assert max(powers, key=powers.get) == "hmmer-nph3"
 
 
 class TestTable10Shape:
     def test_piton_unique(self):
-        result = get_experiment("table10")(quick=True)
+        result = get_experiment("table10")(RunContext(quick=True))
         assert result.series["open_and_characterized_count"] == [1.0]

@@ -1,0 +1,118 @@
+"""Telemetry integration: tracing must observe, never perturb.
+
+The hard requirement on the obs layer is that enabling a tracer is
+bit-identical to running without one — same rows, same series — while
+the manifest it produces carries sane span timings and per-component
+event rates, including when the per-point simulations are fanned out
+across pool workers (whose wall times ride back on the pickled
+outcomes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import RunContext, get_experiment
+from repro.obs import Tracer
+
+FIG11 = get_experiment("fig11")
+
+
+def _run_fig11(tracer=None, jobs=1):
+    ctx = RunContext(quick=True, jobs=jobs, tracer=tracer)
+    return FIG11(ctx, cores=2)
+
+
+class TestBitIdentical:
+    def test_tracer_on_off_identical(self):
+        plain = _run_fig11()
+        traced = _run_fig11(tracer=Tracer())
+        assert traced.rows == plain.rows
+        assert traced.series == plain.series
+
+    def test_pooled_traced_identical(self):
+        plain = _run_fig11()
+        traced = _run_fig11(tracer=Tracer(), jobs=2)
+        assert traced.rows == plain.rows
+        assert traced.series == plain.series
+
+
+class TestManifestSanity:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return _run_fig11(tracer=Tracer(), jobs=2)
+
+    def test_manifest_attached(self, traced):
+        assert traced.manifest is not None
+        assert traced.manifest.experiment_id == "fig11"
+        assert traced.manifest.jobs == 2
+        assert traced.manifest.quick is True
+        assert traced.manifest.telemetry is True
+
+    def test_point_wall_times(self, traced):
+        manifest = traced.manifest
+        # One simulated point per (instruction, operand policy) test.
+        assert manifest.points > 10
+        assert len(manifest.point_wall_s) == manifest.points
+        assert all(t > 0.0 for t in manifest.point_wall_s)
+
+    def test_spans_cover_the_pipeline(self, traced):
+        spans = traced.manifest.spans
+        for name in ("experiment", "simulate", "measure"):
+            assert name in spans, name
+            assert spans[name]["total_s"] > 0.0
+        # Worker wall time sums across the pool, so it is bounded by
+        # elapsed wall time times the worker count (plus slack).
+        assert (
+            spans["simulate"]["total_s"]
+            <= traced.manifest.wall_s_total * traced.manifest.jobs * 1.1
+        )
+
+    def test_event_rates_sane(self, traced):
+        rates = traced.manifest.event_rates
+        # An EPI sweep issues core instructions at ~1/cycle/core and
+        # touches the L1.5 at least occasionally.
+        assert rates["core"]["per_cycle"] > 0.5
+        assert rates["core"]["per_wall_s"] > 0.0
+        assert rates["l15"]["events"] > 0
+
+    def test_operating_point_recorded(self, traced):
+        op = traced.manifest.operating_point
+        assert op is not None
+        assert op["freq_mhz"] > 0
+        assert 0.5 < op["vdd"] < 1.5
+
+    def test_persona_recorded(self, traced):
+        assert traced.manifest.persona == "chip2"
+
+    def test_manifest_round_trips_through_result_json(self, traced):
+        from repro.experiments.result import ExperimentResult
+
+        restored = ExperimentResult.from_json(traced.to_json())
+        assert restored.manifest == traced.manifest
+
+
+class TestTracingOverhead:
+    def test_tracing_under_five_percent(self):
+        """Enabled telemetry must cost <5% on the fig11 quick path.
+
+        Interleaved min-of-3 timings cancel machine drift; a small
+        absolute slack keeps sub-second timings from flaking on a
+        noisy CI box.
+        """
+        plain_times, traced_times = [], []
+        _run_fig11()  # warm caches/imports outside the timed runs
+        for _ in range(3):
+            start = time.perf_counter()
+            _run_fig11()
+            plain_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_fig11(tracer=Tracer())
+            traced_times.append(time.perf_counter() - start)
+        plain, traced = min(plain_times), min(traced_times)
+        assert traced <= plain * 1.05 + 0.05, (
+            f"tracing overhead too high: {plain:.3f}s plain vs "
+            f"{traced:.3f}s traced"
+        )

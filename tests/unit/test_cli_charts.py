@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.result import RESULT_SCHEMA_VERSION
 from repro.util.charts import bar_chart, line_chart
 
 
@@ -95,6 +98,59 @@ class TestCli:
         assert main(["chart", "fig9", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "chip1" in out and "|" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        by_id = {s["id"]: s for s in specs}
+        assert by_id["fig13"]["supports_jobs"] is True
+        assert by_id["fig13"]["chartable"] is True
+        assert by_id["fig8"]["supports_jobs"] is False
+
+    def test_run_json_document(self, capsys):
+        assert main(["run", "fig8", "--quick", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == RESULT_SCHEMA_VERSION
+        assert doc["experiment_id"] == "fig8"
+        assert doc["rows"]
+        assert doc["manifest"]["spans"]["experiment"]["count"] == 1
+
+    def test_run_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "fig8.json"
+        assert main(
+            ["run", "fig8", "--quick", "--json", "--out", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["experiment_id"] == "fig8"
+        # Nothing but the (empty) table output goes to stdout.
+        assert "schema_version" not in capsys.readouterr().out
+
+    def test_run_trace_digest_on_stderr(self, capsys):
+        assert main(["run", "fig8", "--quick", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "fig8" in err and "experiment" in err
+
+    def test_chart_to_file(self, tmp_path, capsys):
+        out = tmp_path / "fig9.chart.txt"
+        assert main(
+            ["chart", "fig9", "--quick", "--out", str(out)]
+        ) == 0
+        assert "chip1" in out.read_text()
+
+    def test_chart_accepts_jobs_flag(self, capsys):
+        # The chart path shares run's context plumbing, so --jobs is
+        # accepted (and a courtesy note lands on stderr for
+        # experiments that never fan out).
+        assert main(["chart", "fig9", "--quick", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "chip1" in captured.out
+        assert "--jobs ignored" in captured.err
+
+    def test_jobs_note_absent_for_supported(self, capsys):
+        args = build_parser().parse_args(
+            ["run", "fig13", "--quick", "--jobs", "2"]
+        )
+        assert args.jobs == 2
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):

@@ -3,10 +3,15 @@ registry plumbing, renderers) — cheap, no simulation."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.experiments import EXPERIMENTS, get_experiment
-from repro.experiments.result import ExperimentResult
+from repro.experiments import EXPERIMENTS, get_experiment, get_spec
+from repro.experiments.result import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+)
 
 
 class TestExperimentResult:
@@ -36,6 +41,38 @@ class TestExperimentResult:
     def test_series_default_empty(self):
         assert self.make().series == {}
 
+    def test_to_dict_versioned(self):
+        d = self.make().to_dict()
+        assert d["schema_version"] == RESULT_SCHEMA_VERSION
+        assert d["experiment_id"] == "figX"
+        assert d["rows"] == [["a", 1], ["b", 2]]
+
+    def test_json_round_trip(self):
+        result = self.make()
+        result.series["s"] = [1.0, 2.0]
+        result.paper_reference = {"a": 1.5}
+        result.notes.append("remark")
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment_id == result.experiment_id
+        assert restored.rows == result.rows
+        assert restored.series == result.series
+        assert restored.paper_reference == result.paper_reference
+        assert restored.notes == result.notes
+
+    def test_json_round_trip_rows_are_tuples(self):
+        restored = ExperimentResult.from_json(self.make().to_json())
+        assert all(isinstance(row, tuple) for row in restored.rows)
+
+    def test_from_dict_rejects_unknown_version(self):
+        d = self.make().to_dict()
+        d["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            ExperimentResult.from_dict(d)
+
+    def test_to_json_is_valid_json(self):
+        parsed = json.loads(self.make().to_json())
+        assert parsed["title"] == "demo"
+
 
 class TestRegistry:
     def test_all_entries_resolvable(self):
@@ -44,9 +81,32 @@ class TestRegistry:
             assert callable(runner)
 
     def test_descriptions_non_empty(self):
-        for eid, (module, description) in EXPERIMENTS.items():
-            assert module.startswith("repro.experiments."), eid
-            assert len(description) > 10, eid
+        for eid, spec in EXPERIMENTS.items():
+            assert spec.module.startswith("repro.experiments."), eid
+            assert len(spec.description) > 10, eid
+            assert spec.experiment_id == eid
+
+    def test_supports_jobs_marks_fan_out_experiments(self):
+        assert get_spec("fig11").supports_jobs
+        assert get_spec("fig13").supports_jobs
+        assert not get_spec("fig8").supports_jobs
+
+    def test_chart_specs_well_formed(self):
+        chartable = {
+            eid for eid, spec in EXPERIMENTS.items() if spec.chartable
+        }
+        assert {"fig9", "fig13", "fig16"} <= chartable
+        for eid in chartable:
+            chart = get_spec(eid).chart
+            assert chart.series, eid
+            assert chart.y_label, eid
+
+    def test_metadata_is_json_serializable(self):
+        for spec in EXPERIMENTS.values():
+            meta = spec.metadata()
+            text = json.dumps(meta)
+            assert spec.experiment_id in text
+            assert meta["supports_jobs"] == spec.supports_jobs
 
     def test_core_paper_results_covered(self):
         """Every evaluation table/figure of the paper has an entry."""

@@ -6,7 +6,11 @@ import math
 
 import pytest
 
-from repro.board.powerlog import PowerLog, PowerLogger
+from repro.board.powerlog import (
+    POWERLOG_SCHEMA_VERSION,
+    PowerLog,
+    PowerLogger,
+)
 from repro.core.multicore import MulticoreEngine
 from repro.core.trace import TraceRecorder
 from repro.isa.assembler import assemble
@@ -55,6 +59,37 @@ class TestPowerLog:
     def test_csv_bad_header(self):
         with pytest.raises(ValueError, match="header"):
             PowerLog.from_csv("a,b,c,d\n1,2,3,4\n")
+
+    def test_json_round_trip(self):
+        log = self.make_log()
+        restored = PowerLog.from_json(log.to_json())
+        assert len(restored) == len(log)
+        assert restored.times_s == pytest.approx(log.times_s)
+        assert restored.vdd_w == pytest.approx(log.vdd_w)
+        assert restored.vio_w == pytest.approx(log.vio_w)
+
+    def test_json_document_has_summary_and_energy(self):
+        doc = self.make_log().to_dict()
+        assert doc["schema_version"] == POWERLOG_SCHEMA_VERSION
+        assert doc["samples"] == 3
+        assert doc["summary"]["vdd"]["mean_w"] == pytest.approx(
+            2.0667, rel=1e-3
+        )
+        assert doc["total_energy_j"] == pytest.approx(
+            self.make_log().total_energy_j()
+        )
+
+    def test_json_empty_log(self):
+        doc = PowerLog().to_dict()
+        assert doc["samples"] == 0
+        assert doc["summary"] == {}
+        assert len(PowerLog.from_dict(doc)) == 0
+
+    def test_json_bad_version(self):
+        doc = self.make_log().to_dict()
+        doc["schema_version"] = 0
+        with pytest.raises(ValueError, match="schema_version"):
+            PowerLog.from_dict(doc)
 
     def test_logger_sampling(self):
         logger = PowerLogger(poll_hz=10.0)
