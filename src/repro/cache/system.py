@@ -89,6 +89,10 @@ class CoherentMemorySystem:
         #: Per-tile MITTS shapers on the DRAM-bound request path; pass-
         #: through by default (the chip's reset configuration).
         self.mitts: dict[int, MittsShaper] = {}
+        #: Optional :class:`repro.check.CheckSuite`; when set, every
+        #: miss-path access outcome is validated (latency bounds,
+        #: level classification). ``None`` keeps the paths check-free.
+        self.checker = None
 
         n = self.config.tile_count
         self.l1i = [
@@ -184,9 +188,12 @@ class CoherentMemorySystem:
             latency += self._l2_fill_from_memory(home, addr, now)
         self.l1i[tile].fill(addr)
         self.ledger.record("l1i.fill")
-        return MemoryAccessOutcome(
+        outcome = MemoryAccessOutcome(
             latency, "l2_local" if hops == 0 else "l2_remote", hops, turns, home
         )
+        if self.checker is not None:
+            self.checker.check_access(outcome)
+        return outcome
 
     # ----------------------------------------------------------- atomic (CAS)
     def atomic(self, tile: int, addr: int, now: int = 0) -> MemoryAccessOutcome:
@@ -267,7 +274,10 @@ class CoherentMemorySystem:
             self._fill_l15(tile, addr, grant)
             if not exclusive:
                 self._fill_l1d(tile, addr)
-        return MemoryAccessOutcome(latency, level, hops, turns, home)
+        outcome = MemoryAccessOutcome(latency, level, hops, turns, home)
+        if self.checker is not None:
+            self.checker.check_access(outcome)
+        return outcome
 
     def _upgrade_to_owner(self, tile: int, addr: int) -> MemoryAccessOutcome:
         """S -> M upgrade: invalidate the other sharers via the home."""
@@ -487,11 +497,24 @@ class CoherentMemorySystem:
                     f"line {line:#x} cached privately but untracked at home"
                 )
             for tile, state in entries:
-                tracked = dir_entry.owner == tile or tile in dir_entry.sharers
+                # State-precise agreement: an exclusive private state
+                # must be backed by directory ownership, and a shared
+                # one by sharer membership — "tracked somehow" is not
+                # enough (a flipped S->M tag must trip this).
+                if state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+                    tracked = dir_entry.owner == tile
+                else:
+                    # Line ownership subsumes sharer rights: a tile
+                    # that owns the 64B line may hold sibling 16B
+                    # sub-lines in S without a sharer record.
+                    tracked = (
+                        tile in dir_entry.sharers or dir_entry.owner == tile
+                    )
                 if not tracked:
                     raise CoherenceError(
                         f"line {line:#x} held {state} by tile {tile} "
-                        "but not tracked in directory"
+                        "but directory records owner "
+                        f"{dir_entry.owner} sharers {sorted(dir_entry.sharers)}"
                     )
             if self.cdr is not None:
                 allowed = self.cdr.allowed_sharers(

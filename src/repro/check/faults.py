@@ -1,0 +1,255 @@
+"""Deterministic fault injection against the simulator's bookkeeping.
+
+Each injector corrupts one subsystem the way a real bookkeeping bug
+(or a single-event upset in the modelled hardware) would, so the test
+suite can prove every :class:`~repro.check.invariants.CheckSuite`
+checker actually fires — a checker that never trips under injected
+faults is dead weight, not an oracle.
+
+All injectors are seeded and pure functions of the target's current
+state: the same seed against the same state corrupts the same site.
+They return a :class:`FaultReport` describing exactly what was done,
+and raise :class:`RuntimeError` when the target holds no injectable
+state (the fault tests drive a small workload first to create sites).
+
+Scenario -> detecting checker:
+
+================== ==========================================
+fault              checker that must fire
+================== ==========================================
+tag bit-flip       ``directory`` (MESI/directory agreement)
+dropped flit       ``mesh`` (flit conservation)
+duplicated flit    ``mesh`` (flit conservation)
+stalled router     ``mesh`` (forward progress)
+DRAM timeout       ``access`` (latency bound)
+================== ==========================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.system import CoherentMemorySystem
+    from repro.noc.mesh import MeshNetwork
+
+#: Every injectable scenario, for tests that sweep all of them.
+FAULT_KINDS = (
+    "tag_bitflip",
+    "dropped_flit",
+    "duplicated_flit",
+    "stalled_router",
+    "dram_timeout",
+)
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What one injector corrupted."""
+
+    kind: str
+    detail: str
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+# ------------------------------------------------------------- directory
+def inject_tag_bitflip(
+    memsys: "CoherentMemorySystem", seed: int = 0
+) -> FaultReport:
+    """Flip directory/private-state bits for one cached line.
+
+    Picks, seeded, among the single-bit corruptions a flaky directory
+    SRAM could produce: a bogus sharer beside an exclusive owner, a
+    silently promoted private copy (S -> M with no upgrade), a
+    directory entry dropped while the line is still cached above, or
+    the owner field flipped to another tile.
+    """
+    from repro.cache.coherence import MesiState
+
+    rng = _rng(seed)
+    candidates: list[tuple[str, int, int]] = []
+    for slice_ in memsys.l2:
+        for line, entry in slice_.directory.items():
+            if entry.owner is not None:
+                candidates.append(("add_sharer", slice_.tile_id, line))
+                candidates.append(("flip_owner", slice_.tile_id, line))
+            if not entry.uncached:
+                # Dropping a holder-less entry would be invisible;
+                # only corrupt entries some tile still caches.
+                candidates.append(("drop_entry", slice_.tile_id, line))
+    for tile in range(memsys.config.tile_count):
+        for line, state in memsys._l15_state[tile].items():
+            if state is not MesiState.SHARED:
+                continue
+            home = memsys.address_map.home_tile(line)
+            entry = memsys.l2[home].directory.get(
+                memsys.l2[home].line_addr(line)
+            )
+            # A tile that owns the whole 64B line may hold sibling
+            # sub-lines in S legitimately; promoting those would not
+            # violate the directory. Target tracked sharers only.
+            if entry is not None and tile in entry.sharers:
+                candidates.append(("promote_shared", tile, line))
+    if not candidates:
+        raise RuntimeError(
+            "no directory state to corrupt (run a workload first)"
+        )
+    kind, where, line = rng.choice(sorted(candidates))
+    n = memsys.config.tile_count
+    if kind == "add_sharer":
+        entry = memsys.l2[where].directory[line]
+        bogus = (entry.owner + 1) % n
+        entry.sharers.add(bogus)
+        detail = (
+            f"added sharer {bogus} beside owner {entry.owner} of line "
+            f"{line:#x} at slice {where}"
+        )
+    elif kind == "flip_owner":
+        entry = memsys.l2[where].directory[line]
+        old = entry.owner
+        entry.owner = (old + 1) % n
+        detail = (
+            f"flipped owner of line {line:#x} at slice {where} from "
+            f"{old} to {entry.owner}"
+        )
+    elif kind == "drop_entry":
+        del memsys.l2[where].directory[line]
+        detail = f"dropped directory entry for line {line:#x} at slice {where}"
+    else:  # promote_shared
+        memsys._l15_state[where][line] = MesiState.MODIFIED
+        detail = (
+            f"promoted tile {where}'s shared copy of line {line:#x} "
+            "to Modified without an upgrade"
+        )
+    return FaultReport("tag_bitflip", detail)
+
+
+# ------------------------------------------------------------------ mesh
+def _flit_queues(mesh: "MeshNetwork"):
+    """Every queue holding in-flight flits, in deterministic order."""
+    queues = []
+    for router in mesh.routers:
+        for port, ip in sorted(router.inputs.items()):
+            queues.append((f"router {router.tile_id} {port.name}", ip.queue))
+    for tile in sorted(mesh._inject_queues):
+        queues.append((f"inject queue {tile}", mesh._inject_queues[tile]))
+    return queues
+
+
+def inject_dropped_flit(mesh: "MeshNetwork", seed: int = 0) -> FaultReport:
+    """Silently drop one in-flight flit (a lost link transfer)."""
+    rng = _rng(seed)
+    nonempty = [(name, q) for name, q in _flit_queues(mesh) if q]
+    if not nonempty:
+        raise RuntimeError("no in-flight flits to drop (inject traffic first)")
+    name, queue = rng.choice(nonempty)
+    index = rng.randrange(len(queue))
+    del queue[index]
+    return FaultReport("dropped_flit", f"dropped flit {index} from {name}")
+
+
+def inject_duplicated_flit(
+    mesh: "MeshNetwork", seed: int = 0
+) -> FaultReport:
+    """Duplicate one in-flight flit (a double-latched link transfer)."""
+    rng = _rng(seed)
+    nonempty = [(name, q) for name, q in _flit_queues(mesh) if q]
+    if not nonempty:
+        raise RuntimeError(
+            "no in-flight flits to duplicate (inject traffic first)"
+        )
+    name, queue = rng.choice(nonempty)
+    queue.append(queue[rng.randrange(len(queue))])
+    return FaultReport("duplicated_flit", f"duplicated a flit in {name}")
+
+
+def inject_stalled_router(
+    mesh: "MeshNetwork",
+    tile: int | None = None,
+    stall_cycles: int = 1 << 30,
+    seed: int = 0,
+) -> FaultReport:
+    """Wedge one router: every input port stalls for ``stall_cycles``.
+
+    When ``tile`` is not given, picks (seeded) a router that currently
+    buffers flits — stalling an idle router off the traffic path would
+    be a no-op no checker could (or should) flag.
+    """
+    if tile is None:
+        occupied = sorted(
+            r.tile_id
+            for r in mesh.routers
+            if any(ip.queue for ip in r.inputs.values())
+        )
+        if not occupied:
+            raise RuntimeError(
+                "no router holds flits to stall (inject traffic first)"
+            )
+        tile = _rng(seed).choice(occupied)
+    router = mesh.routers[tile]
+    until = mesh.now + stall_cycles
+    for ip in router.inputs.values():
+        ip.stall_until = until
+    return FaultReport(
+        "stalled_router",
+        f"stalled router {tile} until cycle {until}",
+    )
+
+
+# ------------------------------------------------------------------ dram
+def inject_dram_timeout(
+    memsys: "CoherentMemorySystem",
+    latency_cycles: int = 10_000_000,
+    seed: int = 0,
+) -> FaultReport:
+    """Make every off-chip access hang for ``latency_cycles``.
+
+    Wraps the memory system's off-chip model; the wrapped model still
+    runs (so channel state stays consistent) but the reported latency
+    is the timeout, which the ``access`` checker must reject.
+    """
+    del seed  # uniform fault; kept for the common injector signature
+    original = memsys.offchip
+
+    def timed_out(line_addr: int, write: bool = False, now: int = 0) -> int:
+        original(line_addr, write, now)
+        return latency_cycles
+
+    memsys.offchip = timed_out
+    return FaultReport(
+        "dram_timeout",
+        f"off-chip accesses now take {latency_cycles} cycles",
+    )
+
+
+# -------------------------------------------------------------- dispatch
+def inject_fault(
+    kind: str,
+    memsys: "CoherentMemorySystem | None" = None,
+    mesh: "MeshNetwork | None" = None,
+    seed: int = 0,
+) -> FaultReport:
+    """Inject one named fault into the supplied target(s)."""
+    if kind == "tag_bitflip":
+        if memsys is None:
+            raise ValueError("tag_bitflip needs a memory system")
+        return inject_tag_bitflip(memsys, seed=seed)
+    if kind == "dram_timeout":
+        if memsys is None:
+            raise ValueError("dram_timeout needs a memory system")
+        return inject_dram_timeout(memsys, seed=seed)
+    if kind in ("dropped_flit", "duplicated_flit", "stalled_router"):
+        if mesh is None:
+            raise ValueError(f"{kind} needs a mesh network")
+        injector = {
+            "dropped_flit": inject_dropped_flit,
+            "duplicated_flit": inject_duplicated_flit,
+            "stalled_router": inject_stalled_router,
+        }[kind]
+        return injector(mesh, seed=seed)
+    raise ValueError(f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")

@@ -12,6 +12,10 @@ Subcommands mirror what a user of the real bench would do:
 * ``chart <experiment>``        — render a figure experiment as an
   ASCII chart (line chart over its numeric series); shares the run
   path with ``run``, so ``--quick``/``--jobs`` apply here too
+* ``verify [experiments...]``   — golden-run differential harness:
+  re-run experiments in quick mode and diff their JSON documents
+  against the snapshots committed under ``tests/goldens/``
+  (``--update`` regenerates them); exits 1 on any drift
 
 Every experiment runs through one :class:`~repro.experiments.RunContext`
 — no per-runner signature sniffing — with telemetry enabled, so every
@@ -73,6 +77,7 @@ def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
         jobs=jobs,
         tracer=Tracer(),
         out_format="json" if getattr(args, "json", False) else "table",
+        checks=getattr(args, "checks", False),
     )
     return spec.resolve()(ctx)
 
@@ -159,6 +164,40 @@ def cmd_chart(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import verify_experiments
+
+    experiment_ids = args.experiments or sorted(EXPERIMENTS)
+    unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    report = verify_experiments(
+        experiment_ids,
+        goldens_dir=Path(args.goldens) if args.goldens else None,
+        update=args.update,
+        jobs=args.jobs,
+        rel_tol=args.tolerance,
+        checks=args.checks,
+    )
+    for outcome in report.outcomes:
+        status = outcome.status.upper()
+        print(f"{status:8s} {outcome.experiment_id:20s} "
+              f"[{outcome.wall_s:.1f}s]")
+        for diff in outcome.diffs:
+            print(f"         {diff}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    passed = sum(o.ok for o in report.outcomes)
+    print(f"{passed}/{len(report.outcomes)} experiments "
+          f"{'updated' if args.update else 'verified'}")
+    return 0 if report.ok else 1
+
+
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every subcommand that executes an experiment."""
     parser.add_argument("--quick", action="store_true")
@@ -180,6 +219,13 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the run's telemetry digest (spans, event rates) "
         "to stderr",
+    )
+    parser.add_argument(
+        "--checks",
+        action="store_true",
+        help="run the repro.check invariant checkers during the "
+        "simulation (results are bit-identical; a bookkeeping "
+        "violation aborts the run loudly)",
     )
 
 
@@ -216,6 +262,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--persona", choices=sorted(PERSONAS), default="chip2"
     )
     measure.set_defaults(func=cmd_measure)
+
+    verify = sub.add_parser(
+        "verify",
+        help="diff live quick runs against the committed goldens",
+        description="Re-run experiments in quick mode and diff their "
+        "JSON documents against the golden snapshots under "
+        "tests/goldens/ with per-metric tolerances. Exit status 1 on "
+        "any drift.",
+    )
+    verify.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to verify (default: all registered)",
+    )
+    verify.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the golden snapshots instead of diffing",
+    )
+    verify.add_argument(
+        "--goldens",
+        default=None,
+        metavar="DIR",
+        help="golden directory (default: tests/goldens/)",
+    )
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per experiment (results identical)",
+    )
+    verify.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative tolerance override for metric comparisons",
+    )
+    verify.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the JSON verification report to FILE",
+    )
+    verify.add_argument(
+        "--checks",
+        action="store_true",
+        help="also run the invariant checkers during the live runs",
+    )
+    verify.set_defaults(func=cmd_verify)
 
     chart = sub.add_parser("chart", help="ASCII chart of a figure")
     chart.add_argument(

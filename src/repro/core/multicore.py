@@ -60,12 +60,17 @@ class RunResult:
 class MulticoreEngine:
     """Steps a set of cores in lockstep over shared memory."""
 
+    #: Cycle interval between full invariant sweeps when a checker is
+    #: installed (sweeps also run once at the end of every run).
+    CHECK_INTERVAL = 4096
+
     def __init__(
         self,
         config: PitonConfig | None = None,
         ledger: EventLedger | None = None,
         memsys: CoherentMemorySystem | None = None,
         execution_drafting: bool = False,
+        checker=None,
     ):
         self.config = config or PitonConfig()
         self.ledger = ledger if ledger is not None else EventLedger()
@@ -75,6 +80,9 @@ class MulticoreEngine:
         self.memory = SharedMemory()
         self.cores: dict[int, Core] = {}
         self.execution_drafting = execution_drafting
+        #: Optional :class:`repro.check.CheckSuite`; ``None`` (the
+        #: default) keeps the run loop check-free.
+        self.checker = checker
         self.now = 0
 
     def add_core(
@@ -143,10 +151,19 @@ class MulticoreEngine:
         active = [c for c in cores if not c.done]
         far_future = 1 << 62
         ff_stall_events = 0
+        checker = self.checker
+        next_check = (
+            self.now + self.CHECK_INTERVAL
+            if checker is not None
+            else far_future
+        )
 
         try:
             while active:
                 now = self.now
+                if checker is not None and now >= next_check:
+                    checker.check_engine(self)
+                    next_check = now + self.CHECK_INTERVAL
                 if deadline is not None and now >= deadline:
                     break
                 if now - start_cycle >= max_cycles:
@@ -187,6 +204,8 @@ class MulticoreEngine:
                 self.ledger.record("core.stall_cycle", ff_stall_events)
             for core in cores:
                 core.flush_events()
+        if checker is not None:
+            checker.check_engine(self)
 
         return RunResult(
             cycles=self.now - start_cycle,

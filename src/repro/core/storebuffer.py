@@ -18,6 +18,9 @@ class StoreEntry:
     addr: int
     value: int
     thread_id: int
+    #: Push order stamp (set by :meth:`StoreBuffer.push`); the invariant
+    #: checkers use it to prove the FIFO never reorders.
+    seq: int = -1
 
 
 class StoreBuffer:
@@ -31,6 +34,7 @@ class StoreBuffer:
         self._entries: deque[StoreEntry] = deque()
         self._head_done_at: int | None = None
         self.drained = 0
+        self.pushed = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,6 +51,8 @@ class StoreBuffer:
         """Insert a store; caller must have checked :attr:`full`."""
         if self.full:
             raise OverflowError("store buffer full")
+        entry.seq = self.pushed
+        self.pushed += 1
         self._entries.append(entry)
         if self._head_done_at is None:
             self._head_done_at = now + self.drain_cycles

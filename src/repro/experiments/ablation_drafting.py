@@ -26,7 +26,10 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
     cores = cores if cores is not None else (4 if quick else 25)
     window = 3_000 if quick else 6_000
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(CHIP2), seed=41, tracer=ctx.trace
+        persona=ctx.resolve_persona(CHIP2),
+        seed=41,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
     p_idle = system.measure_idle().core
 

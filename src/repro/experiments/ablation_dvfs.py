@@ -46,7 +46,10 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
     for vdd in sweep:
         point = curve.boot_frequency(vdd)
         system = PitonSystem.default(
-            persona=ctx.resolve_persona(CHIP2), seed=43, tracer=ctx.trace
+            persona=ctx.resolve_persona(CHIP2),
+            seed=43,
+            tracer=ctx.trace,
+            checks=ctx.checks,
         )
         system.set_operating_point(vdd, vdd + 0.05, point.fmax_hz)
         run_ = system.run_workload(

@@ -42,8 +42,10 @@ class TenantStats:
         return 1e3 * self.loads / self.cycles
 
 
-def _run_case(shaped: bool, window: int) -> dict[str, TenantStats]:
-    system = PitonSystem.default(seed=47)
+def _run_case(
+    shaped: bool, window: int, checks: bool = False
+) -> dict[str, TenantStats]:
+    system = PitonSystem.default(seed=47, checks=checks)
     workload = {}
     for tile in TENANT_A + TENANT_B:
         # Every tenant core streams L2 misses (the Table VII miss loop).
@@ -101,7 +103,7 @@ def run(ctx: RunContext) -> ExperimentResult:
         ],
     )
     for shaped in (False, True):
-        stats = _run_case(shaped, window)
+        stats = _run_case(shaped, window, checks=ctx.checks)
         total = stats["A"].loads + stats["B"].loads
         share = stats["A"].loads / total if total else 0.0
         label = "B shaped by MITTS" if shaped else "unshaped"

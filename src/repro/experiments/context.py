@@ -50,6 +50,11 @@ class RunContext:
     persona: "ChipPersona | None" = None
     tracer: Tracer | None = None
     out_format: str = "table"  # "table" | "json"
+    #: Run the :mod:`repro.check` invariant checkers during simulation.
+    #: Off by default and zero-cost when off (like ``NULL_TRACER``);
+    #: when on, results are bit-identical but a bookkeeping violation
+    #: raises :class:`~repro.check.invariants.CheckError` immediately.
+    checks: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:

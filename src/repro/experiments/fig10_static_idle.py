@@ -64,7 +64,10 @@ def run(ctx: RunContext) -> ExperimentResult:
         stat_vdd = stat_vcs = dyn_vdd = dyn_vcs = 0.0
         for persona in PERSONAS:
             system = PitonSystem.default(
-                persona=persona, seed=11, tracer=ctx.trace
+                persona=persona,
+                seed=11,
+                tracer=ctx.trace,
+                checks=ctx.checks,
             )
             system.set_operating_point(vdd, vcs, freq_hz)
             static = system.measure_static()
@@ -93,7 +96,9 @@ def run(ctx: RunContext) -> ExperimentResult:
         result.series["sram_dynamic_mw"].append(dyn_vcs * 1e3)
 
     # Table V: chip #2 at the Table III defaults.
-    chip2 = PitonSystem.default(seed=11, tracer=ctx.trace)
+    chip2 = PitonSystem.default(
+        seed=11, tracer=ctx.trace, checks=ctx.checks
+    )
     chip2.set_operating_point(
         DEFAULT_MEASUREMENT.vdd,
         DEFAULT_MEASUREMENT.vcs,

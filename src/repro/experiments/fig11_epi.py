@@ -102,7 +102,10 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
     cores = cores if cores is not None else (4 if quick else 25)
     window = 3_000 if quick else 6_000
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(CHIP2), seed=5, tracer=ctx.trace
+        persona=ctx.resolve_persona(CHIP2),
+        seed=5,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
 
     # One point per (instruction, operand policy), in table order. The

@@ -32,7 +32,10 @@ def run(ctx: RunContext) -> ExperimentResult:
     hops_sweep = list(range(0, 9, 2)) if quick else list(range(0, 9))
     packets = 40 if quick else 120
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(CHIP2), seed=9, tracer=ctx.trace
+        persona=ctx.resolve_persona(CHIP2),
+        seed=9,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
 
     result = ExperimentResult(
@@ -46,14 +49,19 @@ def run(ctx: RunContext) -> ExperimentResult:
 
     for pattern in PATTERNS:
         # Zero-hop baseline: same stream, destination tile 0.
-        base = run_noc_stream(pattern, 0, packets, system.config)
+        base = run_noc_stream(
+            pattern, 0, packets, system.config, checker=system.checker
+        )
         p_base = system.bench.measure_workload(
             base.ledger, base.cycles
         ).core
 
         epf_pj: list[float] = []
         for hops in hops_sweep:
-            stream = run_noc_stream(pattern, hops, packets, system.config)
+            stream = run_noc_stream(
+                pattern, hops, packets, system.config,
+                checker=system.checker,
+            )
             p_hop = system.bench.measure_workload(
                 stream.ledger, stream.cycles
             ).core

@@ -69,7 +69,10 @@ def run(ctx: RunContext) -> ExperimentResult:
     window = 3_000 if quick else 6_000
     warmup = 2_000 if quick else 4_000
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(CHIP3), seed=13, tracer=ctx.trace
+        persona=ctx.resolve_persona(CHIP3),
+        seed=13,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
 
     # Simulations fan out across workers; measurements replay serially

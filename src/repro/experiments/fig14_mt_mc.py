@@ -124,7 +124,10 @@ def run(ctx: RunContext) -> ExperimentResult:
     quick = ctx.quick
     thread_counts = [4, 8, 16, 24] if quick else list(range(2, 25, 2))
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(CHIP3), seed=17, tracer=ctx.trace
+        persona=ctx.resolve_persona(CHIP3),
+        seed=17,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
 
     # The (bench, threads, tpc) grid in original iteration order; the

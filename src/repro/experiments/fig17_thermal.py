@@ -56,7 +56,10 @@ def run(ctx: RunContext) -> ExperimentResult:
     thread_counts = THREAD_COUNTS[::2] if quick else THREAD_COUNTS
     angles = FAN_ANGLES[::2] if quick else FAN_ANGLES
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(THERMAL_CHIP), seed=29, tracer=ctx.trace
+        persona=ctx.resolve_persona(THERMAL_CHIP),
+        seed=29,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
     system.set_operating_point(**OPERATING)
     power_model = ChipPowerModel(THERMAL_CHIP, system.calib)
@@ -99,7 +102,9 @@ def run(ctx: RunContext) -> ExperimentResult:
                 die_temp += 0.5 * (new_temp - die_temp)
             # The FLIR camera reads the package surface, not the die.
             network = cooling.network()
-            surface = network.steady_state(power.total_w)[-1]
+            network.checker = system.checker
+            network.settle(power.total_w)
+            surface = network.temps[-1]
             temps.append(surface)
             powers.append(power.core_w * 1e3)
         # Exponential fit: ln P = a + b T.

@@ -50,7 +50,10 @@ def run(ctx: RunContext) -> ExperimentResult:
     duration_s = 90.0 if quick else 180.0
     dt_s = 0.25
     system = PitonSystem.default(
-        persona=ctx.resolve_persona(THERMAL_CHIP), seed=37, tracer=ctx.trace
+        persona=ctx.resolve_persona(THERMAL_CHIP),
+        seed=37,
+        tracer=ctx.trace,
+        checks=ctx.checks,
     )
     system.set_operating_point(**OPERATING)
     power_model = ChipPowerModel(THERMAL_CHIP, system.calib)
@@ -96,7 +99,7 @@ def run(ctx: RunContext) -> ExperimentResult:
     )
     mean_temps = {}
     for schedule in (synchronized_schedule(), interleaved_schedule()):
-        sim = PowerTemperatureSimulator(cooling)
+        sim = PowerTemperatureSimulator(cooling, checker=system.checker)
 
         def power_fn(die_temp: float, t: float, schedule=schedule) -> float:
             compute_threads = schedule.compute_threads_at(t)

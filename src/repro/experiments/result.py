@@ -73,11 +73,19 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
-        version = data.get("schema_version")
+        if "schema_version" not in data:
+            raise ValueError(
+                "result document has no schema_version field; not an "
+                "ExperimentResult document (or one written before "
+                "versioning — re-run the experiment to regenerate it)"
+            )
+        version = data["schema_version"]
         if version != RESULT_SCHEMA_VERSION:
             raise ValueError(
-                f"unsupported result schema_version {version!r} "
-                f"(supported: {RESULT_SCHEMA_VERSION})"
+                f"unsupported result schema_version {version!r}: this "
+                f"build reads version {RESULT_SCHEMA_VERSION} only — "
+                "regenerate the document with this build, or read it "
+                "with the build that wrote it"
             )
         manifest_doc = data.get("manifest")
         return cls(

@@ -30,6 +30,10 @@ class _Move:
 class MeshNetwork:
     """One physical NoC of the three."""
 
+    #: Step interval between invariant sweeps when a checker is
+    #: installed (``drain`` also sweeps once after finishing).
+    CHECK_INTERVAL = 64
+
     def __init__(
         self,
         config: PitonConfig | None = None,
@@ -60,6 +64,15 @@ class MeshNetwork:
         self._eject_packet_queue: dict[int, deque[Packet]] = {}
         self.now = 0
         self.total_flit_hops = 0
+        # Flit-conservation ledger and forward-progress watermark for
+        # the invariant checkers; maintained unconditionally (integer
+        # adds), consumed only when ``checker`` is installed.
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.last_progress = 0
+        #: Optional :class:`repro.check.CheckSuite`; ``None`` keeps
+        #: the step loop check-free.
+        self.checker = None
 
     # ------------------------------------------------------------- injection
     def inject(self, packet: Packet, at_tile: int) -> None:
@@ -71,6 +84,7 @@ class MeshNetwork:
         )
         for flit in packet.flits:
             self._inject_queues[at_tile].append(flit)
+        self.flits_injected += len(packet.flits)
 
     @property
     def in_flight(self) -> int:
@@ -91,6 +105,8 @@ class MeshNetwork:
         moves = self._arbitrate()
         self._apply(moves)
         self.now += 1
+        if self.checker is not None and self.now % self.CHECK_INTERVAL == 0:
+            self.checker.check_mesh(self)
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -100,6 +116,8 @@ class MeshNetwork:
         """Run until every injected flit has been delivered."""
         for _ in range(max_cycles):
             if self.in_flight == 0:
+                if self.checker is not None:
+                    self.checker.check_mesh(self)
                 return
             self.step()
         raise RuntimeError("network failed to drain (possible deadlock)")
@@ -184,6 +202,8 @@ class MeshNetwork:
         return self.floorplan.tile_id_of(coord), reverse
 
     def _apply(self, moves: list[_Move]) -> None:
+        if moves:
+            self.last_progress = self.now
         for move in moves:
             router = self.routers[move.router]
             ip = router.inputs[move.in_port]
@@ -227,4 +247,7 @@ class MeshNetwork:
                 packet = queue.popleft()
                 packet.delivered_at = self.now + 1
                 self.delivered.append(packet)
+            # Partial flits stay in flight until the tail lands, so
+            # the whole packet ejects at once for conservation.
+            self.flits_ejected += len(partial)
             self._eject_partial[tile] = []

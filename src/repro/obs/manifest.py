@@ -32,6 +32,7 @@ class RunManifest:
     jobs: int
     telemetry: bool
     wall_s_total: float
+    checks: bool = False
     persona: str | None = None
     interleave: str | None = None
     operating_point: dict[str, float] | None = None
@@ -51,6 +52,7 @@ class RunManifest:
             "quick": self.quick,
             "jobs": self.jobs,
             "telemetry": self.telemetry,
+            "checks": self.checks,
             "wall_s_total": self.wall_s_total,
             "persona": self.persona,
             "interleave": self.interleave,
@@ -121,6 +123,7 @@ def build_manifest(
         quick=ctx.quick,
         jobs=ctx.jobs,
         telemetry=tracer.enabled,
+        checks=ctx.checks,
         wall_s_total=wall_s_total,
         persona=meta.pop("persona", None),
         interleave=meta.pop("interleave", None),

@@ -85,6 +85,11 @@ class SimRequest:
     window_cycles: int | None = None
     max_cycles: int = 50_000_000
     execution_drafting: bool = False
+    #: Run the :mod:`repro.check` invariant sweeps during simulation.
+    #: Checks never mutate state, so outputs are bit-identical either
+    #: way; a violation raises instead of corrupting results. The flag
+    #: is part of the request so pool workers honour it too.
+    checks: bool = False
 
 
 @dataclass
@@ -105,6 +110,10 @@ class SimOutcome:
     engine: MulticoreEngine | None = None
     build_wall_s: float = 0.0
     sim_wall_s: float = 0.0
+    #: Per-checker pass counts when the request ran with ``checks``
+    #: (``None`` otherwise). A plain dict, so it pickles back from
+    #: pool workers for the parent suite to merge.
+    check_counts: dict[str, int] | None = None
 
 
 def build_engine(
@@ -113,8 +122,13 @@ def build_engine(
     freq_hz: float,
     ledger: EventLedger | None = None,
     execution_drafting: bool = False,
+    checker=None,
 ) -> MulticoreEngine:
-    """A fresh multicore engine wired to a full off-chip path."""
+    """A fresh multicore engine wired to a full off-chip path.
+
+    ``checker`` (a :class:`repro.check.CheckSuite` or ``None``) is
+    installed on both the engine and its memory system.
+    """
     ledger = ledger if ledger is not None else EventLedger()
     offchip = OffChipPath(config, ledger)
     offchip.set_core_clock(freq_hz)
@@ -124,11 +138,13 @@ def build_engine(
         address_map=AddressMap(config, interleave),
         offchip=offchip,
     )
+    memsys.checker = checker
     return MulticoreEngine(
         config,
         ledger=ledger,
         memsys=memsys,
         execution_drafting=execution_drafting,
+        checker=checker,
     )
 
 
@@ -141,6 +157,11 @@ def run_simulation(request: SimRequest) -> SimOutcome:
     to other requests.
     """
     build_start = time.perf_counter()
+    checker = None
+    if request.checks:
+        from repro.check import CheckSuite
+
+        checker = CheckSuite()
     warmup_ledger = EventLedger()
     engine = build_engine(
         request.config,
@@ -148,6 +169,7 @@ def run_simulation(request: SimRequest) -> SimOutcome:
         request.freq_hz,
         ledger=warmup_ledger,
         execution_drafting=request.execution_drafting,
+        checker=checker,
     )
     for tile, tp in request.workload.items():
         engine.add_core(tile, tp.programs, tp.init_regs, tp.init_fregs)
@@ -163,6 +185,7 @@ def run_simulation(request: SimRequest) -> SimOutcome:
             engine=engine,
             build_wall_s=build_wall_s,
             sim_wall_s=time.perf_counter() - sim_start,
+            check_counts=checker.summary() if checker is not None else None,
         )
 
     if request.warmup_cycles:
@@ -176,6 +199,7 @@ def run_simulation(request: SimRequest) -> SimOutcome:
         engine=engine,
         build_wall_s=build_wall_s,
         sim_wall_s=time.perf_counter() - sim_start,
+        check_counts=checker.summary() if checker is not None else None,
     )
 
 
@@ -209,6 +233,7 @@ class PitonSystem:
         seed: int = 0,
         interleave: Interleave = Interleave.LOW,
         tracer: Tracer | None = None,
+        checks: bool = False,
     ):
         self.persona = persona
         self.config = config or PitonConfig()
@@ -216,6 +241,16 @@ class PitonSystem:
         self.defaults = defaults
         self.interleave = interleave
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.checks = checks
+        #: The system-level :class:`repro.check.CheckSuite` when checks
+        #: are on: engines built via :meth:`new_engine` share it, pool
+        #: workers fold their counters into it, and every measured
+        #: ledger is conservation-checked against the calibration.
+        self.checker = None
+        if checks:
+            from repro.check import CheckSuite
+
+            self.checker = CheckSuite()
         self.bench = ExperimentalSystem(
             persona=persona,
             calib=calib,
@@ -247,6 +282,7 @@ class PitonSystem:
             self.bench.freq_hz,
             ledger=ledger,
             execution_drafting=execution_drafting,
+            checker=self.checker,
         )
 
     def sim_request(
@@ -269,6 +305,7 @@ class PitonSystem:
             warmup_cycles=warmup_cycles,
             window_cycles=window_cycles,
             execution_drafting=execution_drafting,
+            checks=self.checks,
         )
 
     def sim_request_to_completion(
@@ -285,6 +322,7 @@ class PitonSystem:
             warmup_cycles=0,
             window_cycles=None,
             max_cycles=max_cycles,
+            checks=self.checks,
         )
 
     def _traced_simulation(self, request: SimRequest) -> SimOutcome:
@@ -312,6 +350,12 @@ class PitonSystem:
         processes must invoke it serially, in submission order, to
         reproduce the serial RNG stream exactly.
         """
+        if self.checker is not None:
+            if outcome.check_counts:
+                self.checker.merge_counts(outcome.check_counts)
+            # The measured ledger must be fully priced by this bench's
+            # calibration (the in-simulation sweeps cannot know it).
+            self.checker.check_ledger(outcome.ledger, self.calib)
         tracer = self.tracer
         with tracer.span("measure"):
             measurement = self.bench.measure_workload(

@@ -32,9 +32,12 @@ class TraceSample:
 class PowerTemperatureSimulator:
     """Integrates the power-thermal feedback loop."""
 
-    def __init__(self, cooling: CoolingSetup):
+    def __init__(self, cooling: CoolingSetup, checker=None):
         self.cooling = cooling
         self.network: ThermalNetwork = cooling.network()
+        #: Optional :class:`repro.check.CheckSuite`, installed on the
+        #: RC network so every settle/step is bounds-checked.
+        self.network.checker = checker
 
     def settle(self, power_fn: PowerFunction, max_iter: int = 200) -> float:
         """Find the steady operating point of the feedback loop and set
@@ -44,10 +47,10 @@ class PowerTemperatureSimulator:
             power = power_fn(temp, 0.0)
             steady = self.network.steady_state(power)
             if abs(steady[0] - temp) < 0.005:
-                self.network.temps = steady
+                self.network.settle(power)
                 return steady[0]
             temp = temp + 0.5 * (steady[0] - temp)
-        self.network.temps = self.network.steady_state(power_fn(temp, 0.0))
+        self.network.settle(power_fn(temp, 0.0))
         return self.network.die_temp_c
 
     def run(

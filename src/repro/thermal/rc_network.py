@@ -38,6 +38,12 @@ class ThermalNetwork:
         self.stages = list(stages)
         self.ambient_c = ambient_c
         self.temps = [ambient_c] * len(stages)
+        #: Largest die power ever applied; the boundedness checker
+        #: derives its temperature ceiling from this watermark.
+        self.power_peak_w = 0.0
+        #: Optional :class:`repro.check.CheckSuite`; ``None`` keeps
+        #: stepping check-free.
+        self.checker = None
 
     @property
     def die_temp_c(self) -> float:
@@ -59,7 +65,10 @@ class ThermalNetwork:
 
     def settle(self, power_w: float) -> None:
         """Jump the state to the steady point (initial conditions)."""
+        self.power_peak_w = max(self.power_peak_w, power_w)
         self.temps = self.steady_state(power_w)
+        if self.checker is not None:
+            self.checker.check_thermal(self)
 
     def step(self, power_w: float, dt_s: float) -> float:
         """Advance the network ``dt_s`` seconds with ``power_w`` at the
@@ -67,6 +76,7 @@ class ThermalNetwork:
         with internal sub-stepping for stability."""
         if dt_s <= 0:
             raise ValueError("dt must be positive")
+        self.power_peak_w = max(self.power_peak_w, power_w)
         # Explicit-Euler stability is set by each node's *effective*
         # time constant: its capacity over the total conductance
         # attached to it (own R downstream plus the upstream stage's R
@@ -93,4 +103,6 @@ class ThermalNetwork:
                 inflow = power_w if i == 0 else flows[i - 1]
                 new_temps[i] += h * (inflow - flows[i]) / stage.c_j_per_c
             self.temps = new_temps
+        if self.checker is not None:
+            self.checker.check_thermal(self)
         return self.die_temp_c

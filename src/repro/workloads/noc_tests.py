@@ -81,17 +81,21 @@ def run_noc_stream(
     packets: int = 60,
     config: PitonConfig | None = None,
     source_tile: int = 0,
+    checker=None,
 ) -> NocRun:
     """Stream ``packets`` dummy packets at a tile ``hops`` away.
 
     Injection is paced at one 7-flit packet per 47-cycle repeat of the
     chip-bridge pattern; the run continues until the network drains.
+    ``checker`` (a :class:`repro.check.CheckSuite`) enables mesh
+    invariant sweeps during the run.
     """
     config = config or PitonConfig()
     floorplan = Floorplan(config)
     dest = floorplan.tile_at_hops(source_tile, hops)
     ledger = EventLedger()
     mesh = MeshNetwork(config, ledger, network_id=INVALIDATION_NOC)
+    mesh.checker = checker
 
     injected_flits = 0
     for k in range(packets):

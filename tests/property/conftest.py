@@ -1,0 +1,26 @@
+"""Hypothesis profiles for the property suites.
+
+The default profile keeps local runs fast; the ``ci`` profile spends a
+larger example budget (the CI verify job exports
+``HYPOTHESIS_PROFILE=ci``). Per-test ``@settings(max_examples=...)``
+decorations still apply where present — the profile only changes the
+defaults and the deadline policy.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default", max_examples=50, deadline=None
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

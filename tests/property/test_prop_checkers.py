@@ -1,0 +1,251 @@
+"""Property-based tests for the repro.check invariant oracle.
+
+Two complementary directions:
+
+* **Soundness** — clean simulations, however the operations interleave,
+  must never trip a checker (a checker that cries wolf would make
+  ``--checks`` unusable and, worse, untrusted).
+* **Completeness** — every seeded fault-injection scenario must be
+  detected by at least one checker; an undetectable corruption means a
+  checker is dead weight rather than an oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.arch.params import PitonConfig
+from repro.cache.system import CoherentMemorySystem, fixed_offchip_model
+from repro.check import (
+    CheckError,
+    CheckSuite,
+    FAULT_KINDS,
+    inject_fault,
+)
+from repro.core.storebuffer import StoreBuffer, StoreEntry
+from repro.noc.mesh import MeshNetwork
+from repro.util.events import EventLedger
+from repro.workloads.noc_tests import (
+    make_invalidation_packet,
+    payload_words,
+)
+
+CONFIG = PitonConfig(mesh_width=3, mesh_height=3)
+
+#: Aliasing address pool (as in test_prop_coherence): few enough lines
+#: that evictions, recalls, and sharing actually occur.
+ADDRESSES = [i * 2048 for i in range(6)] + [0x40, 0x80]
+
+coherence_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "atomic"]),
+        st.integers(0, CONFIG.tile_count - 1),
+        st.sampled_from(ADDRESSES),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+def _checked_memsys() -> tuple[CoherentMemorySystem, CheckSuite]:
+    suite = CheckSuite()
+    ms = CoherentMemorySystem(CONFIG, offchip=fixed_offchip_model(100))
+    ms.checker = suite
+    return ms, suite
+
+
+def _apply(ms: CoherentMemorySystem, ops) -> None:
+    for op, tile, addr in ops:
+        getattr(ms, op)(tile, addr)
+
+
+# ------------------------------------------------------------- soundness
+@given(coherence_ops)
+def test_clean_coherence_traces_never_trip(ops):
+    """Random load/store/atomic interleavings keep every MESI and
+    access invariant green (with per-miss access checks live)."""
+    ms, suite = _checked_memsys()
+    _apply(ms, ops)
+    suite.check_directory(ms)
+    assert suite.violations == 0
+    assert suite.counts["directory"] == 1
+
+
+mesh_traffic = st.lists(
+    st.tuples(
+        st.integers(0, CONFIG.tile_count - 1),  # source
+        st.integers(0, CONFIG.tile_count - 1),  # dest
+        st.integers(0, 30),  # steps between injections
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(mesh_traffic)
+def test_clean_mesh_traffic_never_trips(traffic):
+    """Random packet streams keep flit conservation, credit limits,
+    wormhole lock agreement, and forward progress green."""
+    suite = CheckSuite()
+    mesh = MeshNetwork(CONFIG)
+    mesh.checker = suite
+    for k, (src, dest, gap) in enumerate(traffic):
+        mesh.inject(
+            make_invalidation_packet(dest, payload_words("FSW", k)), src
+        )
+        for _ in range(gap):
+            mesh.step()
+    mesh.drain()
+    assert suite.violations == 0
+    assert suite.counts["mesh"] >= 1
+    assert mesh.flits_injected == mesh.flits_ejected
+
+
+class _CoreStub:
+    """Just enough of a Core for check_store_buffer."""
+
+    def __init__(self, sb: StoreBuffer):
+        self.store_buffer = sb
+        self.tile_id = 0
+
+
+sb_ops = st.lists(
+    st.sampled_from(["push", "drain", "tick"]), min_size=1, max_size=80
+)
+
+
+@given(sb_ops)
+def test_clean_store_buffer_ops_never_trip(ops):
+    """Random push/drain/idle interleavings keep FIFO order, occupancy
+    and conservation green at every step."""
+    suite = CheckSuite()
+    sb = StoreBuffer(capacity=4, drain_cycles=3)
+    core = _CoreStub(sb)
+    now = 0
+    for op in ops:
+        if op == "push" and not sb.full:
+            sb.push(StoreEntry(addr=8 * now, value=now, thread_id=0), now)
+        elif op == "drain":
+            sb.drain_ready(now)
+        now += 1
+        suite.check_store_buffer(core)
+    assert suite.violations == 0
+
+
+# ---------------------------------------------------------- completeness
+def _memsys_with_state(seed: int) -> CoherentMemorySystem:
+    """A memory system with directory entries, sharers, and owners."""
+    ms = CoherentMemorySystem(CONFIG, offchip=fixed_offchip_model(100))
+    # Read-share one line widely, own a few others exclusively.
+    for tile in range(4):
+        ms.load(tile, 0x1000)
+    for tile in range(3):
+        ms.store(tile, 0x2000 + 2048 * tile)
+    ms.load((seed % 4), 0x4000)
+    return ms
+
+
+def _mesh_with_traffic() -> MeshNetwork:
+    mesh = MeshNetwork(CONFIG)
+    for k in range(6):
+        mesh.inject(
+            make_invalidation_packet(8, payload_words("FSW", k)), 0
+        )
+    for _ in range(4):
+        mesh.step()
+    assert mesh.in_flight > 0
+    return mesh
+
+
+@given(st.integers(0, 10_000))
+def test_tag_bitflip_always_detected(seed):
+    ms = _memsys_with_state(seed)
+    suite = CheckSuite()
+    inject_fault("tag_bitflip", memsys=ms, seed=seed)
+    with pytest.raises(CheckError) as exc:
+        suite.check_directory(ms)
+    assert exc.value.checker == "directory"
+
+
+@given(st.integers(0, 10_000), st.sampled_from(["dropped_flit", "duplicated_flit"]))
+def test_flit_faults_always_detected(seed, kind):
+    mesh = _mesh_with_traffic()
+    suite = CheckSuite()
+    mesh.checker = suite
+    inject_fault(kind, mesh=mesh, seed=seed)
+    with pytest.raises(CheckError) as exc:
+        mesh.drain()
+    assert exc.value.checker == "mesh"
+
+
+@given(st.integers(0, 10_000))
+def test_stalled_router_always_detected(seed):
+    mesh = _mesh_with_traffic()
+    suite = CheckSuite()
+    # Tighten the progress bound (an instance-level tunable) so each
+    # example detects the wedge in hundreds of cycles, not 10k.
+    suite.MESH_STALL_BOUND = 256
+    mesh.checker = suite
+    inject_fault("stalled_router", mesh=mesh, seed=seed)
+    with pytest.raises(CheckError) as exc:
+        mesh.drain(max_cycles=4_000)
+    assert exc.value.checker == "mesh"
+
+
+@given(st.integers(0, 10_000))
+def test_dram_timeout_always_detected(seed):
+    ms, suite = _checked_memsys()
+    inject_fault("dram_timeout", memsys=ms, seed=seed)
+    with pytest.raises(CheckError) as exc:
+        ms.load(0, 0x8000)  # cold miss -> off-chip
+    assert exc.value.checker == "access"
+
+
+def test_every_fault_kind_covered():
+    """The detection properties above sweep the full FAULT_KINDS set."""
+    assert set(FAULT_KINDS) == {
+        "tag_bitflip",
+        "dropped_flit",
+        "duplicated_flit",
+        "stalled_router",
+        "dram_timeout",
+    }
+
+
+# -------------------------------------------------------------- ledger
+weights_events = st.dictionaries(
+    st.sampled_from(["core.issue", "l1d.read", "noc1.flit", "alu.op"]),
+    st.tuples(
+        st.integers(1, 10_000),
+        st.floats(0.0, 1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(weights_events)
+def test_clean_ledger_never_trips(events):
+    """Events recorded with activities in [0, 1] always conserve."""
+    suite = CheckSuite()
+    ledger = EventLedger()
+    for name, (count, activity) in events.items():
+        ledger.record(name, count, activity=activity)
+    suite.check_ledger(ledger)
+    assert suite.violations == 0
+
+
+@given(weights_events)
+def test_corrupted_ledger_weight_trips(events):
+    """Pushing any event's weight above its count must be caught."""
+    suite = CheckSuite()
+    ledger = EventLedger()
+    for name, (count, activity) in events.items():
+        ledger.record(name, count, activity=activity)
+    name = sorted(events)[0]
+    ledger.weights[name] = ledger.counts[name] + 1.0
+    with pytest.raises(CheckError) as exc:
+        suite.check_ledger(ledger)
+    assert exc.value.checker == "ledger"
