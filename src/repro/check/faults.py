@@ -27,8 +27,11 @@ DRAM timeout       ``access`` (latency bound)
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +46,22 @@ FAULT_KINDS = (
     "stalled_router",
     "dram_timeout",
 )
+
+#: Execution-layer faults the resilience stack must absorb (as opposed
+#: to the simulator-bookkeeping faults above, which the checkers must
+#: *detect*). ``worker_crash``/``worker_hang`` arm via environment so
+#: they reach pool workers in any process tree — including ``repro``
+#: invoked from a shell or CI; ``checkpoint_truncation`` tears the
+#: tail off a checkpoint journal the way a crashed filesystem would.
+WORKER_FAULT_KINDS = ("worker_crash", "worker_hang", "checkpoint_truncation")
+
+#: ``kind:point`` — e.g. ``worker_crash:0`` crashes whichever worker
+#: picks up grid point 0 on its first attempt.
+WORKER_FAULT_ENV = "REPRO_WORKER_FAULT"
+
+#: How long a ``worker_hang`` fault wedges the worker (long enough
+#: that only the supervisor's deadline can end it).
+WORKER_HANG_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -224,6 +243,102 @@ def inject_dram_timeout(
     return FaultReport(
         "dram_timeout",
         f"off-chip accesses now take {latency_cycles} cycles",
+    )
+
+
+# ------------------------------------------------------------ worker layer
+def arm_worker_fault(kind: str, point: int = 0) -> None:
+    """Arm one execution-layer fault for the next supervised grid.
+
+    The arming travels through :data:`WORKER_FAULT_ENV`, so it reaches
+    every pool worker forked afterwards (and workers of a ``repro``
+    subprocess started with the variable exported). The fault fires on
+    the *first attempt* of the chosen grid point only — retries of the
+    point run clean, which is exactly the transient-failure shape the
+    supervisor exists to absorb.
+    """
+    if kind not in ("worker_crash", "worker_hang"):
+        raise ValueError(
+            f"unknown worker fault {kind!r}; armable: "
+            "('worker_crash', 'worker_hang')"
+        )
+    os.environ[WORKER_FAULT_ENV] = f"{kind}:{point}"
+
+
+def disarm_worker_fault() -> None:
+    os.environ.pop(WORKER_FAULT_ENV, None)
+
+
+def active_worker_fault() -> tuple[str, int] | None:
+    """The armed ``(kind, point)``, or ``None``. Malformed specs raise
+    (a typo'd chaos run must fail loudly, not silently test nothing)."""
+    spec = os.environ.get(WORKER_FAULT_ENV)
+    if not spec:
+        return None
+    try:
+        kind, point_text = spec.split(":", 1)
+        point = int(point_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed {WORKER_FAULT_ENV}={spec!r}; expected "
+            "'worker_crash:POINT' or 'worker_hang:POINT'"
+        ) from None
+    if kind not in ("worker_crash", "worker_hang"):
+        raise ValueError(
+            f"unknown worker fault kind {kind!r} in "
+            f"{WORKER_FAULT_ENV}={spec!r}"
+        )
+    return kind, point
+
+
+def trigger_worker_fault(index: int, attempt: int) -> None:
+    """Fire the armed worker fault, if this is its target attempt.
+
+    Called by the supervised pool's worker loop just before a point
+    simulates; the parent process (and the in-process serial fallback)
+    never calls it, so worker faults are worker-level by construction.
+    ``worker_crash`` dies the way a segfaulting or OOM-killed worker
+    does — abruptly, with no Python-level cleanup; ``worker_hang``
+    wedges until the supervisor's deadline terminates it.
+    """
+    fault = active_worker_fault()
+    if fault is None:
+        return
+    kind, point = fault
+    if index != point or attempt != 0:
+        return
+    if kind == "worker_crash":
+        os._exit(17)
+    time.sleep(WORKER_HANG_S)
+
+
+def inject_checkpoint_truncation(
+    journal_dir: "Path | str", drop_bytes: int = 7, seed: int = 0
+) -> FaultReport:
+    """Truncate the newest checkpoint segment (a torn tail write).
+
+    Models the one corruption the journal's atomic rename cannot rule
+    out: a filesystem that lost the tail of an already-renamed segment
+    (disk full, dirty shutdown before the data blocks flushed). The
+    journal's CRC framing must detect it on resume and re-simulate
+    only the damaged point.
+    """
+    del seed  # deterministic target; kept for the injector signature
+    journal_dir = Path(journal_dir)
+    segments = sorted(journal_dir.glob("point-*.seg"))
+    if not segments:
+        raise RuntimeError(
+            f"no checkpoint segments under {journal_dir} to truncate "
+            "(run a journaled grid first)"
+        )
+    target = segments[-1]
+    size = target.stat().st_size
+    keep = max(0, size - drop_bytes)
+    with open(target, "r+b") as fh:
+        fh.truncate(keep)
+    return FaultReport(
+        "checkpoint_truncation",
+        f"truncated {target.name} from {size} to {keep} bytes",
     )
 
 

@@ -179,11 +179,18 @@ def write_golden(
     doc: Mapping[str, object],
     goldens_dir: Path | None = None,
 ) -> Path:
-    """Write one experiment's golden snapshot (``verify --update``)."""
+    """Write one experiment's golden snapshot (``verify --update``).
+
+    The write is atomic (temp + fsync + rename) so an interrupted
+    ``--update`` can never leave a truncated golden behind.
+    """
+    from repro.util.io import atomic_write_text
+
     path = golden_path(experiment_id, goldens_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(strip_document(doc), indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        path,
+        json.dumps(strip_document(doc), indent=2, sort_keys=True) + "\n",
     )
     return path
 

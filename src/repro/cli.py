@@ -16,11 +16,20 @@ Subcommands mirror what a user of the real bench would do:
   re-run experiments in quick mode and diff their JSON documents
   against the snapshots committed under ``tests/goldens/``
   (``--update`` regenerates them); exits 1 on any drift
+* ``status [experiments...]``   — checkpoint completeness of
+  interrupted campaigns (what ``run --resume`` would pick up)
 
 Every experiment runs through one :class:`~repro.experiments.RunContext`
 — no per-runner signature sniffing — with telemetry enabled, so every
 result carries a run manifest (span timings, per-point wall times,
-per-component event rates).
+per-component event rates, resilience counters).
+
+Grid experiments run fault-tolerant (see :mod:`repro.resilience`):
+worker crashes and hangs retry with backoff, completed points are
+journaled, and SIGINT/SIGTERM exit with status
+:data:`~repro.resilience.EXIT_RESUMABLE` (75) after checkpointing —
+``run <exp> --resume`` then skips the already-simulated points and
+produces the identical result.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import (
     EXPERIMENTS,
@@ -36,9 +46,17 @@ from repro.experiments import (
     RunContext,
     get_spec,
 )
+from repro.experiments.context import DEFAULT_CHECKPOINT_DIR
 from repro.obs import Tracer
+from repro.resilience import (
+    EXIT_RESUMABLE,
+    GridInterrupted,
+    journal_status,
+    resumable_signals,
+)
 from repro.silicon.variation import CHIP1, CHIP2, CHIP3, THERMAL_CHIP
 from repro.util.charts import line_chart
+from repro.util.io import atomic_write_text
 
 PERSONAS = {
     "chip1": CHIP1,
@@ -49,12 +67,15 @@ PERSONAS = {
 
 
 def _emit(text: str, out: str | None) -> None:
-    """Print ``text``, or write it to ``--out FILE`` when given."""
+    """Print ``text``, or write it to ``--out FILE`` when given.
+
+    File writes are atomic (temp + fsync + rename): an interrupt can
+    never leave a truncated document under the requested name.
+    """
     if out is None or out == "-":
         print(text)
     else:
-        with open(out, "w") as fh:
-            fh.write(text if text.endswith("\n") else text + "\n")
+        atomic_write_text(out, text, ensure_newline=True)
 
 
 def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
@@ -78,8 +99,30 @@ def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
         tracer=Tracer(),
         out_format="json" if getattr(args, "json", False) else "table",
         checks=getattr(args, "checks", False),
+        retries=getattr(args, "retries", 2),
+        deadline_s=getattr(args, "deadline", None),
+        resume=getattr(args, "resume", False),
+        checkpoint_dir=getattr(
+            args, "checkpoint_dir", DEFAULT_CHECKPOINT_DIR
+        ),
     )
     return spec.resolve()(ctx)
+
+
+def _interrupted(args: argparse.Namespace) -> int:
+    """Report a checkpointed interrupt and return the resumable code."""
+    ckpt = (
+        Path(getattr(args, "checkpoint_dir", DEFAULT_CHECKPOINT_DIR))
+        / args.experiment
+    )
+    hint = (
+        f"completed points are checkpointed under {ckpt}; "
+        f"re-run with --resume to continue"
+        if ckpt.is_dir()
+        else "no points completed yet; re-run from scratch"
+    )
+    print(f"\ninterrupted: {hint}", file=sys.stderr)
+    return EXIT_RESUMABLE
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -104,7 +147,11 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    result = _run_in_context(args)
+    try:
+        with resumable_signals():
+            result = _run_in_context(args)
+    except GridInterrupted:
+        return _interrupted(args)
     if args.json:
         _emit(result.to_json(), args.out)
     else:
@@ -145,7 +192,11 @@ def cmd_chart(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = _run_in_context(args)
+    try:
+        with resumable_signals():
+            result = _run_in_context(args)
+    except GridInterrupted:
+        return _interrupted(args)
     series = {
         k: result.series[k]
         for k in spec.chart.series
@@ -189,13 +240,70 @@ def cmd_verify(args: argparse.Namespace) -> int:
         for diff in outcome.diffs:
             print(f"         {diff}")
     if args.report:
-        with open(args.report, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2)
-            fh.write("\n")
+        atomic_write_text(
+            args.report,
+            json.dumps(report.to_dict(), indent=2),
+            ensure_newline=True,
+        )
     passed = sum(o.ok for o in report.outcomes)
     print(f"{passed}/{len(report.outcomes)} experiments "
           f"{'updated' if args.update else 'verified'}")
     return 0 if report.ok else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Checkpoint completeness: what ``run --resume`` would pick up."""
+    root = Path(args.checkpoint_dir)
+    experiment_ids = args.experiments or sorted(EXPERIMENTS)
+    unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    statuses = {
+        eid: journal_status(root / eid) for eid in experiment_ids
+    }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    eid: status.to_dict()
+                    for eid, status in statuses.items()
+                },
+                indent=2,
+            )
+        )
+        return 0
+    found = 0
+    for eid, status in statuses.items():
+        if not status.exists and not args.experiments:
+            continue  # only surface live checkpoints by default
+        found += 1
+        if not status.exists:
+            print(f"{eid:20s} no checkpoint")
+            continue
+        expected = (
+            f"/{status.points_expected}"
+            if status.points_expected is not None
+            else ""
+        )
+        damaged = (
+            f", {len(status.damaged)} damaged segment(s)"
+            if status.damaged
+            else ""
+        )
+        age = (
+            f", updated {time.time() - status.updated_at:.0f}s ago"
+            if status.updated_at
+            else ""
+        )
+        print(
+            f"{eid:20s} {status.points}{expected} point(s) "
+            f"checkpointed ({status.bytes} bytes{damaged}{age}) — "
+            "resumable with `run --resume`"
+        )
+    if found == 0:
+        print(f"no checkpoints under {root} (nothing to resume)")
+    return 0
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -206,7 +314,40 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes for the simulation fan-out (results "
-        "are identical for any value; default 1 = serial)",
+        "are identical for any value; default 1 = serial; 0 = auto, "
+        "one worker per CPU this process may use)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-point retry budget for crashed/hung/failed pool "
+        "workers before the final in-process attempt (default 2; "
+        "retries never change results, only the manifest counters)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point deadline in seconds before a worker is "
+        "declared hung and its point retried (default: derived from "
+        "completed-point wall times)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already journaled by an interrupted run "
+        "(exit code 75) instead of re-simulating them; the final "
+        "result is identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=DEFAULT_CHECKPOINT_DIR,
+        metavar="DIR",
+        help="where completed points are journaled for --resume "
+        f"(default: {DEFAULT_CHECKPOINT_DIR})",
     )
     parser.add_argument(
         "--out",
@@ -313,6 +454,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the invariant checkers during the live runs",
     )
     verify.set_defaults(func=cmd_verify)
+
+    status = sub.add_parser(
+        "status",
+        help="checkpoint completeness of interrupted campaigns",
+        description="Inspect the checkpoint journals left by "
+        "interrupted runs: how many points each campaign completed, "
+        "whether any segment is damaged, and what `run --resume` "
+        "would pick up.",
+    )
+    status.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to inspect (default: all with checkpoints)",
+    )
+    status.add_argument(
+        "--checkpoint-dir",
+        default=DEFAULT_CHECKPOINT_DIR,
+        metavar="DIR",
+        help=f"journal location (default: {DEFAULT_CHECKPOINT_DIR})",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the per-experiment journal status as JSON",
+    )
+    status.set_defaults(func=cmd_status)
 
     chart = sub.add_parser("chart", help="ASCII chart of a figure")
     chart.add_argument(

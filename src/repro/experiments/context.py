@@ -22,9 +22,11 @@ manifest then records only the run configuration and total wall time.
 from __future__ import annotations
 
 import functools
+import os
 import time
 import warnings
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.obs.manifest import build_manifest
@@ -32,7 +34,23 @@ from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.result import ExperimentResult
+    from repro.resilience import Supervision
     from repro.silicon.variation import ChipPersona
+
+#: Where ``repro run`` keeps checkpoint journals unless told otherwise.
+DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
+
+
+def resolve_auto_jobs() -> int:
+    """Worker count for ``jobs=0`` ("auto"): the CPUs this process may
+    actually use (``os.process_cpu_count``, honoring affinity masks on
+    Python 3.13+), falling back to ``os.cpu_count() or 1``."""
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        resolved = process_cpu_count()
+        if resolved:
+            return resolved
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -42,7 +60,19 @@ class RunContext:
     ``persona=None`` means "the experiment's own default chip" (each
     figure pins the persona the paper measured it on); setting one
     re-characterizes the experiment on another die. ``tracer=None``
-    means telemetry off.
+    means telemetry off. ``jobs=0`` means "auto": one worker per CPU
+    this process may use (resolved at construction, so readers of
+    ``ctx.jobs`` always see a concrete count).
+
+    The resilience fields shape the supervised fan-out (see
+    :mod:`repro.resilience`): ``retries`` bounds per-point pool
+    re-attempts, ``deadline_s`` pins the per-point hang deadline
+    (``None`` derives one from completed-point wall times), ``resume``
+    loads journaled points from an interrupted campaign instead of
+    re-simulating them, and ``checkpoint_dir`` is where journals live.
+    None of them can change results — retried points are bit-identical
+    reruns and resumed points are the journaled originals; they only
+    change what it takes to produce them.
     """
 
     quick: bool = False
@@ -55,14 +85,36 @@ class RunContext:
     #: when on, results are bit-identical but a bookkeeping violation
     #: raises :class:`~repro.check.invariants.CheckError` immediately.
     checks: bool = False
+    #: Pool re-attempt budget per grid point (plus one final
+    #: in-process attempt once the budget is spent).
+    retries: int = 2
+    #: Per-point hang deadline in seconds; ``None`` = adaptive.
+    deadline_s: float | None = None
+    #: Load journaled points from an interrupted run's checkpoint.
+    resume: bool = False
+    #: Journal location; ``None`` disables checkpoint journaling
+    #: (unless ``resume`` asks for the default location).
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.jobs == 0:
+            object.__setattr__(self, "jobs", resolve_auto_jobs())
         if self.jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+            raise ValueError(
+                f"jobs must be >= 1 (or 0 for auto), got {self.jobs}"
+            )
         if self.out_format not in ("table", "json"):
             raise ValueError(
                 f"out_format must be 'table' or 'json', "
                 f"got {self.out_format!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
             )
 
     @property
@@ -76,6 +128,43 @@ class RunContext:
 
     def with_tracer(self, tracer: Tracer | None) -> "RunContext":
         return replace(self, tracer=tracer)
+
+    def supervision(self, experiment_id: str) -> "Supervision | None":
+        """The supervised-execution config this context implies.
+
+        ``None`` — the common library default (serial, no resume, no
+        checkpoint dir) — keeps :func:`~repro.experiments.parallel.
+        parallel_simulate` on its historical zero-cost path. Anything
+        that fans out, resumes, or journals gets a
+        :class:`~repro.resilience.Supervision` carrying the retry
+        policy, the (possibly resumed) checkpoint journal, and this
+        context's tracer for the retry/resume counters.
+        """
+        wants_journal = (
+            self.checkpoint_dir is not None or self.resume
+        )
+        if self.jobs <= 1 and not wants_journal:
+            return None
+        from repro.resilience import (
+            CheckpointJournal,
+            RetryPolicy,
+            Supervision,
+        )
+
+        journal = None
+        if wants_journal:
+            root = Path(self.checkpoint_dir or DEFAULT_CHECKPOINT_DIR)
+            journal = CheckpointJournal(
+                root / experiment_id, resume=self.resume
+            )
+        return Supervision(
+            policy=RetryPolicy(
+                retries=self.retries, deadline_s=self.deadline_s
+            ),
+            journal=journal,
+            tracer=self.trace,
+            experiment_id=experiment_id,
+        )
 
 
 def _legacy_context(

@@ -131,7 +131,12 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
             tests[(name, policy)] = test
             yield request
 
-    outcomes = parallel_simulate(requests(), jobs=ctx.jobs, tracer=ctx.trace)
+    outcomes = parallel_simulate(
+        requests(),
+        jobs=ctx.jobs,
+        tracer=ctx.trace,
+        supervision=ctx.supervision("fig11"),
+    )
 
     p_idle = system.measure_idle().core
 

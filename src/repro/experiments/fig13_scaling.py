@@ -89,7 +89,12 @@ def run(ctx: RunContext) -> ExperimentResult:
         for tpc in (1, 2)
         for count in core_counts
     )
-    outcomes = parallel_simulate(requests, jobs=ctx.jobs, tracer=ctx.trace)
+    outcomes = parallel_simulate(
+        requests,
+        jobs=ctx.jobs,
+        tracer=ctx.trace,
+        supervision=ctx.supervision("fig13"),
+    )
 
     result = ExperimentResult(
         experiment_id="fig13",

@@ -143,7 +143,12 @@ def run(ctx: RunContext) -> ExperimentResult:
         _point_request(system, bench, threads, tpc)
         for bench, threads, tpc in grid
     )
-    outcomes = parallel_simulate(requests, jobs=ctx.jobs, tracer=ctx.trace)
+    outcomes = parallel_simulate(
+        requests,
+        jobs=ctx.jobs,
+        tracer=ctx.trace,
+        supervision=ctx.supervision("fig14"),
+    )
 
     idle_total_w = system.measure_idle().core.value
 

@@ -1,4 +1,4 @@
-"""Fan independent simulation points across a process pool.
+"""Fan independent simulation points across a supervised worker pool.
 
 The experiments in this package are grids of independent measurement
 points (VDD values, core counts, thread counts, instruction classes).
@@ -19,9 +19,15 @@ results to a serial run by construction:
    original order, via :meth:`PitonSystem.measure_outcome`.
 
 With ``jobs <= 1`` everything runs in-process (and the simulation
-engines stay attached to the outcomes); with ``jobs > 1`` a
-``multiprocessing`` pool runs the simulations and the engines are
-stripped before crossing the process boundary.
+engines stay attached to the outcomes); with ``jobs > 1`` the
+simulations run on a :class:`~repro.resilience.SupervisedPool`, which
+detects crashed and hung workers, retries their points with backoff,
+and keeps one poisoned point from killing the grid. Passing a
+:class:`~repro.resilience.Supervision` adds checkpoint journaling: each
+completed outcome is appended to a CRC-checked journal the moment it
+exists, and a resumed run loads journaled points instead of
+re-simulating them — the measurement replay still walks the full grid
+in order, so resumed results are bit-identical to uninterrupted ones.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import multiprocessing
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.obs.trace import Tracer
+from repro.resilience import Supervision, SupervisedPool, request_digest
 from repro.system import SimOutcome, SimRequest, run_simulation
 
 T = TypeVar("T")
@@ -53,17 +60,28 @@ def parallel_map(
     Results always come back in submission order (``Pool.map``
     preserves it). ``fn`` must be a module-level function and ``items``
     picklable when ``jobs > 1``.
+
+    The pool is torn down with an explicit ``terminate()`` + ``join()``
+    in a ``finally`` block: relying on ``Pool.__exit__`` alone leaks
+    worker processes when a ``KeyboardInterrupt`` lands mid-``map``
+    (the interrupted main thread can abandon the pool's internal
+    machinery before ``__exit__``'s cleanup runs to completion).
     """
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with multiprocessing.Pool(min(jobs, len(items))) as pool:
+    pool = multiprocessing.Pool(min(jobs, len(items)))
+    try:
         return pool.map(fn, items)
+    finally:
+        pool.terminate()
+        pool.join()
 
 
 def parallel_simulate(
     requests: Iterable[SimRequest],
     jobs: int = 1,
     tracer: Tracer | None = None,
+    supervision: Supervision | None = None,
 ) -> Iterator[SimOutcome]:
     """Run every request, yielding outcomes in request order.
 
@@ -72,8 +90,18 @@ def parallel_simulate(
     consumed, so a serial experiment interleaves simulation with its
     measurement replay and never holds the whole grid in memory — the
     exact behavior of the pre-parallel code. With ``jobs > 1`` the
-    requests are materialized and fanned across a process pool
-    (``Pool.map`` preserves submission order).
+    requests are materialized and fanned across a
+    :class:`~repro.resilience.SupervisedPool` (results are collected
+    in submission order, whatever order workers finish in).
+
+    ``supervision`` configures failure handling: its
+    :class:`~repro.resilience.RetryPolicy` bounds retries and
+    deadlines, its journal (if any) checkpoints each completed outcome
+    and serves journaled points back on resume, and its tracer records
+    the retry/timeout/resume counters. With ``supervision=None`` the
+    pool runs under the default policy and nothing is journaled; the
+    serial path is then byte-for-byte the historical one (zero cost
+    when idle).
 
     Engines are stripped on both paths: grid experiments read only
     ledgers and counters.
@@ -84,19 +112,88 @@ def parallel_simulate(
     consumed, in submission order. Telemetry reads finished outcomes
     only — it cannot perturb simulation results.
     """
-    if jobs <= 1:
+    journal = supervision.journal if supervision is not None else None
+    if jobs <= 1 and journal is None:
+        # The historical zero-cost serial path: fully lazy, nothing
+        # supervised (an in-process failure is deterministic — a
+        # retry would fail identically).
         outcomes: Iterator[SimOutcome] = map(_simulate_stripped, requests)
     else:
         materialized = list(requests)
-        if len(materialized) <= 1:
+        if len(materialized) <= 1 and journal is None:
             outcomes = map(_simulate_stripped, materialized)
         else:
-            outcomes = iter(
-                parallel_map(_simulate_stripped, materialized, jobs=jobs)
-            )
+            outcomes = _run_supervised(materialized, jobs, supervision)
     if tracer is None or not tracer.enabled:
         return outcomes
     return _record_points(outcomes, tracer)
+
+
+def _run_supervised(
+    requests: Sequence[SimRequest],
+    jobs: int,
+    supervision: Supervision | None,
+) -> Iterator[SimOutcome]:
+    """Run a materialized grid under supervision (and/or a journal).
+
+    Journaled points (on resume) never reach the pool; the rest run
+    supervised — across workers for ``jobs > 1``, in-process for a
+    serial journaled run — each appended to the journal the moment it
+    completes, so an interrupt at any point loses only in-flight work.
+
+    The journal is retired once the consumer has received the final
+    outcome (tracked in the ``finally``: the generator knows the last
+    index it yielded even when the consumer stops calling ``next``
+    afterwards). A consumer that abandons the grid mid-way — an
+    interrupt unwinding through the measurement replay — leaves every
+    completed point on disk for ``--resume``.
+    """
+    supervision = supervision if supervision is not None else Supervision()
+    journal = supervision.journal
+    count = supervision.tracer.count
+    digests = [request_digest(request) for request in requests]
+    outcomes: dict[int, SimOutcome] = {}
+    todo: list[int] = []
+    for index, digest in enumerate(digests):
+        cached = journal.get(index, digest) if journal is not None else None
+        if cached is not None:
+            outcomes[index] = cached
+            count("points_resumed")
+        else:
+            todo.append(index)
+    if journal is not None:
+        journal.write_meta(
+            experiment_id=supervision.experiment_id,
+            points_expected=len(requests),
+        )
+
+    def on_result(todo_index: int, outcome: SimOutcome) -> None:
+        index = todo[todo_index]
+        outcomes[index] = outcome
+        if journal is not None:
+            journal.append(index, digests[index], outcome)
+
+    pool = SupervisedPool(
+        _simulate_stripped,
+        jobs=jobs,
+        policy=supervision.policy,
+        tracer=supervision.tracer,
+    )
+    pool.map([requests[i] for i in todo], on_result=on_result)
+
+    def emit() -> Iterator[SimOutcome]:
+        index = -1
+        try:
+            for index in range(len(requests)):
+                yield outcomes[index]
+        finally:
+            # Runs on exhaustion *and* when the consumer drops the
+            # iterator; the journal is done only if the final point
+            # was delivered.
+            if journal is not None and index == len(requests) - 1:
+                journal.complete()
+
+    return emit()
 
 
 def _record_points(

@@ -10,9 +10,12 @@ every "characterize X versus Y" study repeats.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import Supervision
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP2, ChipPersona
 from repro.system import PitonSystem
@@ -95,6 +98,7 @@ def sweep(
     seed: int = 0,
     jobs: int = 1,
     tracer: "Tracer | None" = None,
+    supervision: "Supervision | None" = None,
 ) -> SweepResult:
     """Measure ``workload_factory`` at every grid point.
 
@@ -107,7 +111,9 @@ def sweep(
     seeded with ``seed``), and measurements run serially in grid
     order, so results are identical for any ``jobs``. An enabled
     ``tracer`` collects per-point wall times and measurement spans,
-    exactly as the registry experiments do.
+    exactly as the registry experiments do. ``supervision`` (see
+    :mod:`repro.resilience`) adds retry/deadline handling and
+    checkpoint journaling, again without touching results.
     """
     from repro.experiments.parallel import parallel_simulate
 
@@ -128,7 +134,9 @@ def sweep(
                 window_cycles=window_cycles,
             )
         )
-    outcomes = parallel_simulate(requests, jobs=jobs, tracer=tracer)
+    outcomes = parallel_simulate(
+        requests, jobs=jobs, tracer=tracer, supervision=supervision
+    )
 
     for (point, freq, system), outcome in zip(systems, outcomes):
         idle = system.measure_idle().core.value

@@ -42,6 +42,12 @@ class RunManifest:
     event_rates: dict[str, dict[str, float]] = field(
         default_factory=dict
     )
+    #: Supervised-execution counters (retries, timeouts,
+    #: worker_crashes, points_simulated, points_resumed, ...) — how
+    #: much failure handling the run needed. ``None`` when nothing was
+    #: supervised; results are identical either way, these only record
+    #: what it took to produce them.
+    resilience: dict[str, int] | None = None
     extra: dict[str, object] = field(default_factory=dict)
 
     # -------------------------------------------------------- serialization
@@ -63,6 +69,11 @@ class RunManifest:
             "event_rates": {
                 k: dict(v) for k, v in self.event_rates.items()
             },
+            "resilience": (
+                dict(self.resilience)
+                if self.resilience is not None
+                else None
+            ),
             "extra": dict(self.extra),
         }
 
@@ -98,6 +109,11 @@ class RunManifest:
                 f"{rates['per_cycle']:8.3f}/cycle  "
                 f"{rates['per_wall_s']:12.0f}/wall-s"
             )
+        if self.resilience:
+            counters = "  ".join(
+                f"{k}={v}" for k, v in sorted(self.resilience.items())
+            )
+            lines.append(f"  resilience: {counters}")
         return "\n".join(lines)
 
 
@@ -137,5 +153,6 @@ def build_manifest(
         event_rates=component_rates(
             tracer.event_counts, tracer.sim_cycles, sim_wall
         ),
+        resilience=dict(tracer.resilience) or None,
         extra=meta,
     )

@@ -94,6 +94,11 @@ class Tracer:
         self.point_wall_s: list[float] = []
         self.event_counts: dict[str, float] = {}
         self.sim_cycles: float = 0.0
+        #: Resilience counters (retries, timeouts, worker_crashes,
+        #: points_simulated, points_resumed, ...) incremented by the
+        #: supervised execution layer via :meth:`count`; surfaced on
+        #: the run manifest. Empty when nothing was supervised.
+        self.resilience: dict[str, int] = {}
 
     # ------------------------------------------------------------- recording
     def span(self, name: str):
@@ -118,6 +123,10 @@ class Tracer:
     def point(self, sim_wall_s: float) -> None:
         """Record one grid point's simulation wall time, in grid order."""
         self.point_wall_s.append(sim_wall_s)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump one resilience counter (retry, timeout, resume hit...)."""
+        self.resilience[name] = self.resilience.get(name, 0) + n
 
     def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:
         """Fold one measured window's events into the run totals."""
@@ -147,6 +156,9 @@ class _NullTracer(Tracer):
         pass
 
     def point(self, sim_wall_s: float) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
         pass
 
     def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:

@@ -1,0 +1,101 @@
+"""Retry budgets, backoff schedules, and deadline derivation.
+
+The supervisor's failure-handling knobs live in one frozen
+:class:`RetryPolicy` so the CLI, :class:`~repro.experiments.RunContext`,
+and the tests all speak the same vocabulary:
+
+* ``retries`` — how many times a point may be re-queued to the pool
+  after its first attempt; one further in-process attempt always
+  remains after the budget is spent (see
+  :class:`~repro.resilience.pool.SupervisedPool`).
+* backoff — exponential with a cap: attempt *n* waits
+  ``base * factor**(n-1)`` seconds, at most ``cap``.
+* deadline — either pinned (``deadline_s``) or derived from the wall
+  times of points that already finished: until the first completion
+  there is no deadline (a fresh grid has nothing to compare a slow
+  point against), afterwards a point is declared hung once it exceeds
+  ``max(floor, factor * slowest completed point)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def backoff_schedule(
+    attempt: int,
+    base_s: float = 0.25,
+    factor: float = 2.0,
+    cap_s: float = 5.0,
+) -> float:
+    """Seconds to wait before retry number ``attempt`` (1-based).
+
+    Deterministic exponential backoff: ``base * factor**(attempt-1)``,
+    capped at ``cap_s``. Attempt 0 (the first try) never waits.
+    """
+    if attempt <= 0:
+        return 0.0
+    return min(cap_s, base_s * factor ** (attempt - 1))
+
+
+def derive_deadline(
+    observed_wall_s: Sequence[float],
+    floor_s: float = 5.0,
+    factor: float = 8.0,
+) -> float | None:
+    """Per-point deadline implied by completed-point wall times.
+
+    ``None`` (no deadline) until at least one point has finished —
+    with nothing to compare against, any cutoff would be a guess that
+    could kill a legitimately slow first point. Once stats exist, a
+    point is hung if it runs ``factor`` times longer than the slowest
+    completed point, with ``floor_s`` preventing millisecond-scale
+    grids from producing hair-trigger deadlines.
+    """
+    if not observed_wall_s:
+        return None
+    return max(floor_s, factor * max(observed_wall_s))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor reacts to crashed, hung, or failing points."""
+
+    #: Pool re-queue budget per point (beyond the first attempt).
+    retries: int = 2
+    #: Explicit per-point deadline; ``None`` derives one adaptively.
+    deadline_s: float | None = None
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 5.0
+    deadline_floor_s: float = 5.0
+    deadline_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        return backoff_schedule(
+            attempt,
+            base_s=self.backoff_base_s,
+            factor=self.backoff_factor,
+            cap_s=self.backoff_cap_s,
+        )
+
+    def deadline_for(
+        self, observed_wall_s: Sequence[float]
+    ) -> float | None:
+        """The deadline in force given completed-point wall times."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        return derive_deadline(
+            observed_wall_s,
+            floor_s=self.deadline_floor_s,
+            factor=self.deadline_factor,
+        )

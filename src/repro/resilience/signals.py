@@ -1,0 +1,62 @@
+"""Interrupt handling for resumable campaigns.
+
+``repro run`` wraps experiment execution in :func:`resumable_signals`:
+SIGINT and SIGTERM both raise :class:`GridInterrupted` in the main
+thread, which unwinds through the supervised pool (terminating and
+joining every worker on the way — see
+:class:`~repro.resilience.pool.SupervisedPool`) with every completed
+point already journaled, and the CLI converts it into the distinct
+:data:`EXIT_RESUMABLE` exit code so wrappers (batch schedulers, CI
+retries) can tell "re-run me with ``--resume``" apart from a real
+failure.
+
+:class:`GridInterrupted` subclasses :class:`KeyboardInterrupt` so any
+pre-existing ``except KeyboardInterrupt`` cleanup (and pytest's own
+interrupt handling) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+from typing import Iterator
+
+#: Exit code for "interrupted but resumable" — BSD's EX_TEMPFAIL, the
+#: conventional "transient failure, retry later" status.
+EXIT_RESUMABLE = 75
+
+
+class GridInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM arrived mid-campaign; completed work is journaled."""
+
+    def __init__(self, signum: int = signal.SIGINT):
+        super().__init__(signum)
+        self.signum = signum
+
+
+@contextlib.contextmanager
+def resumable_signals() -> Iterator[None]:
+    """Convert SIGINT/SIGTERM into :class:`GridInterrupted`.
+
+    Installs handlers for the duration of the ``with`` block and
+    restores the previous ones after. Must run in the main thread
+    (signal handlers are process-global); anywhere else — e.g. a
+    worker thread of an embedding application — it degrades to a
+    no-op rather than failing.
+    """
+    def _raise(signum: int, frame: object) -> None:
+        raise GridInterrupted(signum)
+
+    try:
+        previous = {
+            signal.SIGINT: signal.signal(signal.SIGINT, _raise),
+            signal.SIGTERM: signal.signal(signal.SIGTERM, _raise),
+        }
+    except ValueError:  # not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

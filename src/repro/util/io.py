@@ -1,0 +1,44 @@
+"""Durable file writes: never leave a truncated file on disk.
+
+Every result artifact the tooling writes — ``run --json --out``
+documents, golden snapshots, verification reports, checkpoint
+metadata — goes through :func:`atomic_write_text`: the content lands
+in a same-directory temp file, is flushed and fsynced, and then
+``os.replace``\\ d over the destination. An interrupt (Ctrl-C, SIGKILL,
+power loss) at any instant leaves either the complete old file or the
+complete new one, never a half-written JSON document.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
+    path = Path(path)
+    parent = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: Path | str, text: str, ensure_newline: bool = False
+) -> Path:
+    """Write ``text`` to ``path`` atomically; optionally newline-end it."""
+    if ensure_newline and not text.endswith("\n"):
+        text += "\n"
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -190,9 +190,11 @@ class TestRunContext:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            RunContext(jobs=0)
+            RunContext(jobs=-1)
         with pytest.raises(ValueError):
             RunContext(out_format="xml")
+        # 0 is not invalid anymore: it means "auto" (one per CPU).
+        assert RunContext(jobs=0).jobs >= 1
 
     def test_resolve_persona_prefers_explicit(self):
         sentinel = object()
