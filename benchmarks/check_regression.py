@@ -1,0 +1,123 @@
+"""Gate benchmark wall times against the committed baseline.
+
+Reads a ``results/BENCH_<rev>.json`` summary (written by the
+benchmark conftest) and compares every benchmark that has a recorded
+baseline in ``benchmarks/baseline.json``. A benchmark slower than
+``baseline * (1 + threshold)`` is a regression and fails the check;
+benchmarks without a baseline are reported as new but never fail.
+
+Usage::
+
+    python benchmarks/check_regression.py results/BENCH_abc1234.json
+    python benchmarks/check_regression.py --latest   # newest BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+DEFAULT_THRESHOLD = 0.25  # fail if >25% slower than baseline
+#: Benchmarks faster than this are below the timing noise floor; a
+#: 25% swing on a few milliseconds is scheduler jitter, not a
+#: regression, so they are reported but never gated.
+DEFAULT_MIN_WALL_S = 0.05
+
+
+def find_latest(results_dir: Path) -> Path:
+    candidates = sorted(
+        results_dir.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime
+    )
+    if not candidates:
+        raise SystemExit(f"no BENCH_*.json under {results_dir}")
+    return candidates[-1]
+
+
+def check(
+    bench_path: Path,
+    baseline_path: Path = DEFAULT_BASELINE,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> int:
+    bench = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    baseline_times = {
+        name: float(entry["wall_s"])
+        for name, entry in baseline.get("benchmarks", {}).items()
+    }
+
+    failures: list[str] = []
+    print(f"bench:    {bench_path} (rev {bench.get('rev', '?')})")
+    print(f"baseline: {baseline_path}")
+    for name, entry in sorted(bench.get("benchmarks", {}).items()):
+        wall = float(entry["wall_s"])
+        base = baseline_times.get(name)
+        if base is None:
+            print(f"  NEW   {name}: {wall:.3f}s (no baseline)")
+            continue
+        ratio = wall / base if base > 0 else float("inf")
+        if wall < min_wall_s and base < min_wall_s:
+            print(
+                f"  noise {name}: {wall:.3f}s vs baseline {base:.3f}s "
+                f"(below {min_wall_s:.2f}s noise floor, not gated)"
+            )
+            continue
+        status = "OK   " if ratio <= 1.0 + threshold else "SLOW "
+        print(
+            f"  {status}{name}: {wall:.3f}s vs baseline {base:.3f}s "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: {wall:.3f}s is {ratio:.2f}x baseline "
+                f"{base:.3f}s (limit {1.0 + threshold:.2f}x)"
+            )
+    for missing in sorted(set(baseline_times) - set(bench.get("benchmarks", {}))):
+        print(f"  MISS  {missing}: in baseline but not in this run")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) over {threshold:.0%} threshold:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench", nargs="?", type=Path, help="BENCH_<rev>.json to check"
+    )
+    parser.add_argument(
+        "--latest",
+        action="store_true",
+        help="check the newest results/BENCH_*.json",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed slowdown fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=DEFAULT_MIN_WALL_S,
+        help="noise floor in seconds; faster benches are not gated",
+    )
+    args = parser.parse_args(argv)
+    if args.bench is None:
+        if not args.latest:
+            parser.error("give a BENCH_<rev>.json path or --latest")
+        args.bench = find_latest(REPO_ROOT / "results")
+    return check(args.bench, args.baseline, args.threshold, args.min_wall)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,20 @@ regenerated from a benchmark run.
 Set ``REPRO_BENCH_JOBS=N`` to fan each experiment's simulations across
 N worker processes (experiments that support ``jobs``); reproduced
 numbers are identical either way, only the wall-clock changes.
+
+Every benchmark session also writes a machine-readable summary to
+``results/BENCH_<rev>.json`` (``<rev>`` is the current git short
+hash): per-benchmark wall time, the committed baseline time from
+``benchmarks/baseline.json``, and the speedup versus that baseline.
+CI uploads the file as an artifact and gates on it with
+``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -20,8 +29,70 @@ import pytest
 from repro.experiments import EXPERIMENTS, RunContext
 from repro.experiments.result import ExperimentResult
 from repro.util.charts import line_chart
+from repro.util.io import atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+#: test name -> call-phase wall seconds, filled per session.
+_WALL_TIMES: dict[str, float] = {}
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def load_baseline() -> dict[str, float]:
+    """Committed per-benchmark wall times (empty if none recorded)."""
+    if not BASELINE_PATH.exists():
+        return {}
+    data = json.loads(BASELINE_PATH.read_text())
+    return {
+        name: float(entry["wall_s"])
+        for name, entry in data.get("benchmarks", {}).items()
+    }
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.passed:
+        _WALL_TIMES[item.name] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _WALL_TIMES:
+        return
+    baseline = load_baseline()
+    entries = {}
+    for name, wall_s in sorted(_WALL_TIMES.items()):
+        base = baseline.get(name)
+        entries[name] = {
+            "wall_s": wall_s,
+            "baseline_s": base,
+            "speedup": (base / wall_s) if base and wall_s > 0 else None,
+        }
+    doc = {
+        "schema_version": 1,
+        "rev": _git_rev(),
+        "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        "benchmarks": entries,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{doc['rev']}.json"
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nbenchmark summary written to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,68 @@
+"""Benchmark: batched multi-persona execution (repro.batch).
+
+A dense Figure-9-style V/f sweep — three chip personas, eight supply
+voltages each, Fmax at every point, one shared integer workload — is
+the worst case for serial execution: 24 simulations that all decode
+and execute the identical instruction stream. Batching coalesces the
+whole grid into one simulation with 24 accumulation lanes.
+
+The benchmark asserts the two paths produce *identical* records and
+that batching is at least 5x faster; this is the acceptance-criteria
+speedup from the batching PR and the regression CI gates on it via
+``results/BENCH_<rev>.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweep import SweepPoint, sweep
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3
+from repro.workloads.microbench import int_tile
+
+from conftest import run_once  # noqa: F401  (shared harness import style)
+
+#: 3 personas x 8 VDDs = 24 grid points, one timing class.
+VDDS = [0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15]
+POINTS = [
+    SweepPoint(persona=p, vdd=v)
+    for p in (CHIP1, CHIP2, CHIP3)
+    for v in VDDS
+]
+
+WINDOW_CYCLES = 20_000
+WARMUP_CYCLES = 2_000
+
+
+def _sweep(batch: bool):
+    return sweep(
+        POINTS,
+        lambda tile: int_tile(),
+        warmup_cycles=WARMUP_CYCLES,
+        window_cycles=WINDOW_CYCLES,
+        batch=batch,
+    )
+
+
+def test_bench_batch_vf_sweep(benchmark):
+    import time
+
+    start = time.perf_counter()
+    serial = _sweep(batch=False)
+    serial_s = time.perf_counter() - start
+
+    batched = benchmark.pedantic(
+        _sweep, args=(True,), rounds=1, iterations=1
+    )
+    batched_s = benchmark.stats.stats.mean
+
+    assert batched.records == serial.records, (
+        "batched sweep must be bit-identical to serial"
+    )
+    speedup = serial_s / batched_s
+    print(
+        f"\n{len(POINTS)}-point V/f sweep: serial {serial_s:.3f}s, "
+        f"batched {batched_s:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batching speedup {speedup:.1f}x below the 5x acceptance bar "
+        f"(serial {serial_s:.3f}s, batched {batched_s:.3f}s)"
+    )

@@ -1,0 +1,153 @@
+"""Per-lane event accumulation behind one decoded instruction stream.
+
+When a batch group of N grid points shares one simulation, the single
+event ledger the run produced must become N independent per-point
+ledgers: downstream, every point is measured by its *own* bench (its
+own persona, rails, monitor-noise stream), and the invariant checkers
+conservation-check each point's ledger separately. The
+:class:`LedgerMatrix` is that fan-out: one decode pass fills row 0,
+and broadcasting gives every lane its (count, weight) accumulation
+row in a numpy structured array — the "one decode, N accumulations"
+representation. Lanes materialize back into
+:class:`~repro.util.events.EventLedger`\\ s preserving event order and
+exact float values, so batched results are bit-identical to serial
+ones (ledger pricing sums floats in insertion order; the matrix never
+perturbs either the order or the values).
+
+numpy is optional. When it is not importable — or when
+``REPRO_BATCH_FORCE_PYTHON=1`` asks for the fallback explicitly (how
+the tests prove equivalence) — a pure-python backend stores the same
+lanes as plain dicts. Backends are bit-identical by construction:
+float64 round-trips python floats exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from repro.util.events import EventLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.power.calibration import Calibration
+
+try:  # gated dependency: everything works without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the env switch
+    _np = None
+
+#: Environment switch forcing the pure-python backend (testing aid).
+FORCE_PYTHON_ENV = "REPRO_BATCH_FORCE_PYTHON"
+
+
+def numpy_backend_available() -> bool:
+    """Whether the numpy backend will be used for new matrices."""
+    if os.environ.get(FORCE_PYTHON_ENV, "") not in ("", "0"):
+        return False
+    return _np is not None
+
+
+class LedgerMatrix:
+    """N lanes of (event count, activity weight) accumulations.
+
+    Built from the one ledger a batch group's representative run
+    produced, broadcast across ``n_lanes``. Row ``i`` belongs to grid
+    point ``i`` of the group; :meth:`lane_ledger` materializes it back
+    into a fresh :class:`EventLedger` whose dict order matches the
+    original exactly.
+    """
+
+    def __init__(self, ledger: EventLedger, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        self.n_lanes = n_lanes
+        #: Event names in the original ledger's insertion order — the
+        #: order every materialized lane reproduces (pricing loops sum
+        #: floats in this order, so it is part of bit-identity).
+        self.names: tuple[str, ...] = tuple(ledger.counts.keys())
+        self.backend = (
+            "numpy" if numpy_backend_available() else "python"
+        )
+        if self.backend == "numpy":
+            row = _np.zeros(
+                len(self.names),
+                dtype=[("count", "f8"), ("weight", "f8")],
+            )
+            for j, name in enumerate(self.names):
+                row[j] = (ledger.counts[name], ledger.weights[name])
+            # One decode pass fills one row; broadcasting stamps the
+            # accumulation across every lane of the batch.
+            self._rows = _np.broadcast_to(
+                row, (n_lanes, len(self.names))
+            ).copy()
+        else:
+            counts = {name: ledger.counts[name] for name in self.names}
+            weights = {
+                name: ledger.weights[name] for name in self.names
+            }
+            self._lanes = [
+                (dict(counts), dict(weights)) for _ in range(n_lanes)
+            ]
+
+    @property
+    def n_events(self) -> int:
+        return len(self.names)
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(
+                f"lane {lane} out of range [0, {self.n_lanes})"
+            )
+
+    def lane_ledger(self, lane: int) -> EventLedger:
+        """Materialize one lane as a fresh, independent ledger."""
+        self._check_lane(lane)
+        ledger = EventLedger()
+        if self.backend == "numpy":
+            row = self._rows[lane]
+            for j, name in enumerate(self.names):
+                ledger.counts[name] = float(row[j]["count"])
+                ledger.weights[name] = float(row[j]["weight"])
+        else:
+            counts, weights = self._lanes[lane]
+            for name in self.names:
+                ledger.counts[name] = counts[name]
+                ledger.weights[name] = weights[name]
+        return ledger
+
+    def activity_energy_pj(
+        self, calib: "Calibration"
+    ) -> Sequence[float]:
+        """Per-lane activity energy under one calibration, in pJ.
+
+        The vectorized form of the per-event pricing loop in
+        :meth:`repro.power.chip_power.ChipPower.event_power`: for each
+        priced event, ``count * base_pj + weight * act_pj`` (the
+        weight *is* ``count * mean_activity``). Unpriced events
+        contribute nothing, exactly as in the scalar loop. Used by the
+        equivalence tests to cross-check lane accumulations against
+        per-lane ledger pricing; rail/voltage scaling stays with the
+        measurement layer.
+        """
+        base = [0.0] * self.n_events
+        act = [0.0] * self.n_events
+        for j, name in enumerate(self.names):
+            price = calib.energy_for(name)
+            if price is not None:
+                base[j] = price.base_pj
+                act[j] = price.act_pj
+        if self.backend == "numpy":
+            base_v = _np.asarray(base)
+            act_v = _np.asarray(act)
+            totals = (
+                self._rows["count"] * base_v
+                + self._rows["weight"] * act_v
+            ).sum(axis=1)
+            return [float(t) for t in totals]
+        return [
+            sum(
+                counts[name] * base[j] + weights[name] * act[j]
+                for j, name in enumerate(self.names)
+            )
+            for counts, weights in self._lanes
+        ]

@@ -1,0 +1,171 @@
+"""Execute a batch plan: one simulation per group, N outcomes out.
+
+:func:`batched_simulate` is the batched counterpart of the historical
+request-at-a-time fan-out in :mod:`repro.experiments.parallel`: it
+simulates one representative per :class:`~repro.batch.plan.BatchGroup`
+(in-process, or across the :class:`~repro.resilience.SupervisedPool`
+for ``jobs > 1``) and replicates each outcome to the group's members
+through a :class:`~repro.batch.accumulate.LedgerMatrix`, yielding
+outcomes in the original grid order.
+
+The checkpoint journal composes transparently: every *member* point is
+journaled under its own ``(index, request digest)`` the moment its
+group completes, so a campaign interrupted mid-batch resumes
+identically whether the resuming run batches or not — the journal
+format never learns about batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.batch.accumulate import LedgerMatrix
+from repro.batch.plan import BatchPlan, plan_batches
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import Supervision
+    from repro.system import SimOutcome, SimRequest
+
+
+def _simulate_stripped(request: "SimRequest") -> "SimOutcome":
+    """Pool/worker entry point: simulate, drop the engine.
+
+    A module-level twin of the one in
+    :mod:`repro.experiments.parallel` (that module imports this one,
+    so the worker function lives here to keep the import one-way).
+    """
+    from repro.system import run_simulation
+
+    outcome = run_simulation(request)
+    outcome.engine = None
+    return outcome
+
+
+def replicate_outcome(
+    outcome: "SimOutcome", n: int
+) -> "list[SimOutcome]":
+    """Fan one group outcome out to ``n`` independent member outcomes.
+
+    Member 0 keeps the representative's ledger object and wall-time
+    stamps; members 1..n-1 get their lane's ledger materialized from
+    the :class:`LedgerMatrix` and zeroed wall times (their simulation
+    cost was amortized into the representative's — telemetry reports
+    wall-clock actually spent, not wall-clock saved). Every member
+    owns its ledger, result, and checker counters outright: downstream
+    measurement, checking, and journaling treat each point as if it
+    had been simulated alone.
+    """
+    if n == 1:
+        return [outcome]
+    matrix = LedgerMatrix(outcome.ledger, n)
+    members = [outcome]
+    for lane in range(1, n):
+        members.append(
+            replace(
+                outcome,
+                ledger=matrix.lane_ledger(lane),
+                result=replace(outcome.result),
+                engine=None,
+                build_wall_s=0.0,
+                sim_wall_s=0.0,
+                check_counts=(
+                    dict(outcome.check_counts)
+                    if outcome.check_counts is not None
+                    else None
+                ),
+            )
+        )
+    return members
+
+
+def batched_simulate(
+    requests: "Sequence[SimRequest]",
+    plan: BatchPlan | None = None,
+    jobs: int = 1,
+    supervision: "Supervision | None" = None,
+) -> "Iterator[SimOutcome]":
+    """Simulate a grid group-wise, yielding outcomes in grid order.
+
+    Mirrors the contract of the unbatched supervised path exactly:
+    results in submission order, journaled points (on resume) never
+    re-simulated, every completed point appended to the journal as it
+    exists, the journal retired only once the final outcome was
+    delivered, and per-point retry/deadline supervision applied to the
+    representative simulations. The only difference is how many times
+    :func:`~repro.system.run_simulation` actually runs.
+    """
+    from repro.resilience import (
+        Supervision,
+        SupervisedPool,
+        request_digest,
+    )
+
+    if plan is None:
+        plan = plan_batches(requests)
+    supervision = (
+        supervision if supervision is not None else Supervision()
+    )
+    journal = supervision.journal
+    count = supervision.tracer.count
+    digests = [request_digest(request) for request in requests]
+
+    outcomes: dict[int, "SimOutcome"] = {}
+    #: Missing-member index lists, one per group still needing its
+    #: representative simulated (resume may have filled some or all
+    #: members of a group from the journal).
+    todo: list[list[int]] = []
+    for group in plan.groups:
+        missing: list[int] = []
+        for index in group.indices:
+            cached = (
+                journal.get(index, digests[index])
+                if journal is not None
+                else None
+            )
+            if cached is not None:
+                outcomes[index] = cached
+                count("points_resumed")
+            else:
+                missing.append(index)
+        if missing:
+            todo.append(missing)
+    if journal is not None:
+        journal.write_meta(
+            experiment_id=supervision.experiment_id,
+            points_expected=len(requests),
+        )
+
+    def on_result(todo_index: int, outcome: "SimOutcome") -> None:
+        members = todo[todo_index]
+        replicas = replicate_outcome(outcome, len(members))
+        if len(members) > 1:
+            count("batch_points_replicated", len(members) - 1)
+        for index, replica in zip(members, replicas):
+            outcomes[index] = replica
+            if journal is not None:
+                journal.append(index, digests[index], replica)
+
+    pool = SupervisedPool(
+        _simulate_stripped,
+        jobs=jobs,
+        policy=supervision.policy,
+        tracer=supervision.tracer,
+    )
+    pool.map(
+        [requests[missing[0]] for missing in todo],
+        on_result=on_result,
+    )
+
+    def emit() -> "Iterator[SimOutcome]":
+        index = -1
+        try:
+            for index in range(len(requests)):
+                # pop: each member's outcome is handed over exactly
+                # once, freeing the grid as the consumer walks it.
+                yield outcomes.pop(index)
+        finally:
+            if journal is not None and index == len(requests) - 1:
+                journal.complete()
+
+    return emit()

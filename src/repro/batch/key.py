@@ -1,0 +1,118 @@
+"""Timing-class identity of a simulation request.
+
+Two :class:`~repro.system.SimRequest`\\ s with the same
+:func:`batch_key` are guaranteed to produce bit-identical
+:class:`~repro.system.SimOutcome`\\ s, because the key covers every
+input the simulation reads:
+
+* the workload (programs, initial registers, memory images), the chip
+  configuration, the address interleaving, the run window, and the
+  drafting/checks flags — all hashed verbatim;
+* the core clock — hashed verbatim when the workload *can* reach the
+  off-chip path, and dropped entirely when it provably cannot.
+
+The second rule is what makes dense V/f sweeps batchable. The core
+clock influences the architectural simulation in exactly one place:
+:class:`~repro.chip.offchip.OffChipPath` converts DRAM nanoseconds to
+core cycles. The off-chip path is only ever invoked by the coherent
+memory system on an L2 miss, and the memory system is only ever
+entered through a ``Unit.MEM`` instruction (``ldx``/``stx``/``cas``).
+A workload with no memory instructions therefore executes identically
+at 285 MHz and at 1 GHz — same cycles, same events, same everything —
+and N frequency points collapse into one simulation.
+
+Frequency-*dependent* requests stay correct automatically: their keys
+include ``freq_hz``, so distinct frequencies land in distinct groups
+(a "de-batch" — see :mod:`repro.batch.plan`), never in a shared one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping
+
+from repro.isa.instructions import Unit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import SimRequest
+    from repro.workloads.base import TileProgram
+
+
+def workload_can_touch_memory(
+    workload: Mapping[int, "TileProgram"],
+) -> bool:
+    """Whether any thread could ever enter the coherent memory system.
+
+    True when any program contains a ``Unit.MEM`` instruction, or when
+    a tile pre-loads a memory image (conservative: an image without a
+    load to read it is inert, but cheap certainty beats cleverness
+    here). Only a False answer is load-bearing — it licenses dropping
+    the core clock from the batch key.
+    """
+    for tile_program in workload.values():
+        if tile_program.memory_image:
+            return True
+        for program in tile_program.programs:
+            for info in program.infos:
+                if info.unit is Unit.MEM:
+                    return True
+    return False
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """The timing class of one simulation request.
+
+    ``digest`` hashes every simulation input except the core clock;
+    ``freq_token`` is the clock when it matters and ``None`` when the
+    workload provably never reaches the off-chip path. Requests are
+    batchable iff their keys compare equal.
+    """
+
+    digest: bytes
+    freq_token: float | None
+
+    @property
+    def freq_independent(self) -> bool:
+        return self.freq_token is None
+
+
+def _clockless_digest(request: "SimRequest") -> bytes:
+    """SHA-256 over the request's pickle with the clock zeroed out.
+
+    Requests are plain dataclasses of scalars, lists, and
+    insertion-ordered dicts, so the pickle bytes are stable across
+    processes — the same property :func:`~repro.resilience.
+    request_digest` already relies on for ``--resume``.
+    """
+    surrogate = replace(request, freq_hz=1.0)
+    return hashlib.sha256(
+        pickle.dumps(surrogate, protocol=pickle.HIGHEST_PROTOCOL)
+    ).digest()
+
+
+def batch_key(request: "SimRequest") -> BatchKey:
+    """The timing class of ``request`` (see the module docstring)."""
+    freq_token = (
+        request.freq_hz
+        if workload_can_touch_memory(request.workload)
+        else None
+    )
+    return BatchKey(
+        digest=_clockless_digest(request), freq_token=freq_token
+    )
+
+
+def affinity_key(request: "SimRequest") -> bytes:
+    """The workload-affinity class: the batch key *ignoring* timing.
+
+    Points that share an affinity class wanted to batch — they run the
+    same workload over the same topology and window. When their full
+    :func:`batch_key`\\ s still differ (a timing-affecting difference,
+    e.g. distinct clocks on a memory-touching workload), the planner
+    records a de-batch event for the observability ledger instead of
+    merging them.
+    """
+    return _clockless_digest(request)

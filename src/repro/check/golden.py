@@ -48,7 +48,10 @@ def strip_document(doc: Mapping[str, object]) -> dict[str, object]:
 
 
 def live_document(
-    experiment_id: str, jobs: int = 1, checks: bool = False
+    experiment_id: str,
+    jobs: int = 1,
+    checks: bool = False,
+    batch: bool = True,
 ) -> dict[str, object]:
     """Run one experiment quick and return its stripped document."""
     from repro.experiments import RunContext, get_spec
@@ -58,6 +61,7 @@ def live_document(
         quick=True,
         jobs=jobs if spec.supports_jobs else 1,
         checks=checks,
+        batch=batch,
     )
     doc = strip_document(spec.resolve()(ctx).to_dict())
     # Round-trip through JSON so the live document has exactly the
@@ -211,6 +215,7 @@ def verify_experiments(
     jobs: int = 1,
     rel_tol: float | None = None,
     checks: bool = False,
+    batch: bool = True,
 ) -> VerifyReport:
     """Diff live quick runs against goldens (or refresh the goldens).
 
@@ -235,7 +240,7 @@ def verify_experiments(
                 )
             )
             continue
-        live = live_document(eid, jobs=jobs, checks=checks)
+        live = live_document(eid, jobs=jobs, checks=checks, batch=batch)
         if update:
             write_golden(eid, live, goldens_dir)
             outcome = VerifyOutcome(eid, "updated")

@@ -99,6 +99,7 @@ def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
         tracer=Tracer(),
         out_format="json" if getattr(args, "json", False) else "table",
         checks=getattr(args, "checks", False),
+        batch=getattr(args, "batch", True),
         retries=getattr(args, "retries", 2),
         deadline_s=getattr(args, "deadline", None),
         resume=getattr(args, "resume", False),
@@ -232,6 +233,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         rel_tol=args.tolerance,
         checks=args.checks,
+        batch=args.batch,
     )
     for outcome in report.outcomes:
         status = outcome.status.upper()
@@ -368,6 +370,14 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         "simulation (results are bit-identical; a bookkeeping "
         "violation aborts the run loudly)",
     )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="coalesce grid points sharing a timing class into one "
+        "simulation each (default on; results are bit-identical "
+        "either way — --no-batch only changes wall-clock)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--checks",
         action="store_true",
         help="also run the invariant checkers during the live runs",
+    )
+    verify.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="coalesce timing-equivalent grid points during the live "
+        "runs (bit-identical results; the goldens cannot tell)",
     )
     verify.set_defaults(func=cmd_verify)
 

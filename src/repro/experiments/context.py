@@ -85,6 +85,13 @@ class RunContext:
     #: when on, results are bit-identical but a bookkeeping violation
     #: raises :class:`~repro.check.invariants.CheckError` immediately.
     checks: bool = False
+    #: Coalesce grid points that share a timing class into one
+    #: simulation each (see :mod:`repro.batch`). On by default:
+    #: batched output is bit-identical to serial by construction, so
+    #: the flag only changes wall-clock (``--no-batch`` exists for
+    #: A/B timing and for falling back while diagnosing a suspected
+    #: batching bug, not because results can differ).
+    batch: bool = True
     #: Pool re-attempt budget per grid point (plus one final
     #: in-process attempt once the budget is spent).
     retries: int = 2

@@ -136,6 +136,7 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
         jobs=ctx.jobs,
         tracer=ctx.trace,
         supervision=ctx.supervision("fig11"),
+        batch=ctx.batch,
     )
 
     p_idle = system.measure_idle().core

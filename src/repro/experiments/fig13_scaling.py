@@ -94,6 +94,7 @@ def run(ctx: RunContext) -> ExperimentResult:
         jobs=ctx.jobs,
         tracer=ctx.trace,
         supervision=ctx.supervision("fig13"),
+        batch=ctx.batch,
     )
 
     result = ExperimentResult(

@@ -148,6 +148,7 @@ def run(ctx: RunContext) -> ExperimentResult:
         jobs=ctx.jobs,
         tracer=ctx.trace,
         supervision=ctx.supervision("fig14"),
+        batch=ctx.batch,
     )
 
     idle_total_w = system.measure_idle().core.value

@@ -35,21 +35,14 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.batch import batched_simulate, plan_batches
+from repro.batch.execute import _simulate_stripped
 from repro.obs.trace import Tracer
 from repro.resilience import Supervision, SupervisedPool, request_digest
-from repro.system import SimOutcome, SimRequest, run_simulation
+from repro.system import SimOutcome, SimRequest
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-def _simulate_stripped(request: SimRequest) -> SimOutcome:
-    """Pool worker: simulate, then drop the engine (it does not need to
-    be pickled back; callers of the parallel path read only the ledger
-    and counters)."""
-    outcome = run_simulation(request)
-    outcome.engine = None
-    return outcome
 
 
 def parallel_map(
@@ -82,6 +75,7 @@ def parallel_simulate(
     jobs: int = 1,
     tracer: Tracer | None = None,
     supervision: Supervision | None = None,
+    batch: bool = False,
 ) -> Iterator[SimOutcome]:
     """Run every request, yielding outcomes in request order.
 
@@ -111,8 +105,42 @@ def parallel_simulate(
     so they survive the pickle back from pool workers) as outcomes are
     consumed, in submission order. Telemetry reads finished outcomes
     only — it cannot perturb simulation results.
+
+    ``batch=True`` coalesces grid points that share a timing class
+    (see :mod:`repro.batch`) into one simulation each: the
+    representative request runs once and its outcome is replicated to
+    every member, bit-identically — the simulator is a pure function
+    of the request, and the batch key covers everything it reads.
+    Batching materializes the request stream up front (the plan needs
+    the whole grid); when nothing coalesces, execution falls straight
+    through to the historical paths below at zero extra cost beyond
+    the planning pass.
     """
     journal = supervision.journal if supervision is not None else None
+    if batch:
+        materialized = list(requests)
+        plan = plan_batches(materialized)
+        stats_tracer = tracer
+        if stats_tracer is None and supervision is not None:
+            stats_tracer = supervision.tracer
+        if stats_tracer is not None and stats_tracer.enabled:
+            stats_tracer.note("batch", plan.summary())
+            stats_tracer.count("batch_groups", plan.n_groups)
+            stats_tracer.count(
+                "batch_points_coalesced", plan.points_coalesced
+            )
+            if plan.debatch_events:
+                stats_tracer.count(
+                    "batch_debatch_events", plan.debatch_events
+                )
+        if plan.points_coalesced > 0:
+            outcomes = batched_simulate(
+                materialized, plan, jobs=jobs, supervision=supervision
+            )
+            if tracer is None or not tracer.enabled:
+                return outcomes
+            return _record_points(outcomes, tracer)
+        requests = materialized
     if jobs <= 1 and journal is None:
         # The historical zero-cost serial path: fully lazy, nothing
         # supervised (an in-process failure is deterministic — a

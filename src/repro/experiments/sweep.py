@@ -99,6 +99,7 @@ def sweep(
     jobs: int = 1,
     tracer: "Tracer | None" = None,
     supervision: "Supervision | None" = None,
+    batch: bool = True,
 ) -> SweepResult:
     """Measure ``workload_factory`` at every grid point.
 
@@ -114,6 +115,12 @@ def sweep(
     exactly as the registry experiments do. ``supervision`` (see
     :mod:`repro.resilience`) adds retry/deadline handling and
     checkpoint journaling, again without touching results.
+
+    ``batch`` (default on) coalesces grid points sharing a timing
+    class into one simulation each (see :mod:`repro.batch`) — the
+    common case for this function, since persona and VDD never affect
+    the simulation, and the core clock only matters to workloads that
+    reach the off-chip path. Results are bit-identical either way.
     """
     from repro.experiments.parallel import parallel_simulate
 
@@ -135,7 +142,11 @@ def sweep(
             )
         )
     outcomes = parallel_simulate(
-        requests, jobs=jobs, tracer=tracer, supervision=supervision
+        requests,
+        jobs=jobs,
+        tracer=tracer,
+        supervision=supervision,
+        batch=batch,
     )
 
     for (point, freq, system), outcome in zip(systems, outcomes):

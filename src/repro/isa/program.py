@@ -7,10 +7,27 @@ assembler). The core pipeline executes programs directly.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.isa.instructions import OpcodeInfo, opcode
+
+
+@functools.lru_cache(maxsize=1024)
+def resolve_infos(ops: tuple[str, ...]) -> tuple[OpcodeInfo, ...]:
+    """The per-instruction :class:`OpcodeInfo` table for an op list.
+
+    Memoized process-wide: sweep grids rebuild the same workload once
+    per point (and once per tile), and every rebuild used to re-resolve
+    an identical table. Keying on the opcode-name tuple returns the
+    *same* tuple object for the same instruction stream, so repeated
+    :func:`~repro.system.run_simulation` calls share one table instead
+    of precomputing it again — provably identical, since
+    :class:`OpcodeInfo` instances are frozen singletons from
+    :data:`~repro.isa.instructions.INSTRUCTION_SET`.
+    """
+    return tuple(opcode(op) for op in ops)
 
 
 @dataclass(frozen=True)
@@ -56,17 +73,21 @@ class Instruction:
 class Program:
     """A resolved instruction sequence with label metadata.
 
-    ``infos`` is the per-instruction :class:`OpcodeInfo` list, resolved
-    once at construction so the pipeline's issue loop can index a flat
-    list instead of re-looking opcodes up per executed instruction
-    (programs loop; the lookup would otherwise run millions of times).
+    ``infos`` is the per-instruction :class:`OpcodeInfo` table,
+    resolved once at construction so the pipeline's issue loop can
+    index a flat sequence instead of re-looking opcodes up per
+    executed instruction (programs loop; the lookup would otherwise
+    run millions of times). The table is a shared, memoized tuple —
+    two programs with the same instruction stream hold the *same*
+    object (see :func:`resolve_infos`), so rebuilding a workload per
+    sweep point never re-precomputes it.
     """
 
     instructions: list[Instruction] = field(default_factory=list)
     labels: dict[str, int] = field(default_factory=dict)
     source: str | None = None
-    infos: list[OpcodeInfo] = field(
-        init=False, repr=False, compare=False, default_factory=list
+    infos: tuple[OpcodeInfo, ...] = field(
+        init=False, repr=False, compare=False, default=()
     )
 
     def __post_init__(self) -> None:
@@ -74,7 +95,9 @@ class Program:
 
     def refresh_infos(self) -> None:
         """Re-resolve ``infos`` (call after mutating ``instructions``)."""
-        self.infos = [opcode(i.op) for i in self.instructions]
+        self.infos = resolve_infos(
+            tuple(i.op for i in self.instructions)
+        )
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -33,6 +33,10 @@ class RunManifest:
     telemetry: bool
     wall_s_total: float
     checks: bool = False
+    #: Whether timing-class batching (:mod:`repro.batch`) was enabled;
+    #: the plan's actual numbers (groups, coalesced points, de-batch
+    #: events) ride in ``extra["batch"]`` when a grid was planned.
+    batch: bool = True
     persona: str | None = None
     interleave: str | None = None
     operating_point: dict[str, float] | None = None
@@ -59,6 +63,7 @@ class RunManifest:
             "jobs": self.jobs,
             "telemetry": self.telemetry,
             "checks": self.checks,
+            "batch": self.batch,
             "wall_s_total": self.wall_s_total,
             "persona": self.persona,
             "interleave": self.interleave,
@@ -114,6 +119,12 @@ class RunManifest:
                 f"{k}={v}" for k, v in sorted(self.resilience.items())
             )
             lines.append(f"  resilience: {counters}")
+        batch_stats = self.extra.get("batch")
+        if isinstance(batch_stats, Mapping):
+            stats = "  ".join(
+                f"{k}={v}" for k, v in batch_stats.items()
+            )
+            lines.append(f"  batch: {stats}")
         return "\n".join(lines)
 
 
@@ -140,6 +151,7 @@ def build_manifest(
         jobs=ctx.jobs,
         telemetry=tracer.enabled,
         checks=ctx.checks,
+        batch=ctx.batch,
         wall_s_total=wall_s_total,
         persona=meta.pop("persona", None),
         interleave=meta.pop("interleave", None),

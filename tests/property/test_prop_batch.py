@@ -1,0 +1,140 @@
+"""Property tests: batched execution is bit-identical to serial.
+
+The batching layer (:mod:`repro.batch`) may only ever change wall
+time. These properties throw randomized grids at it — personas,
+supply voltages, explicit/implicit frequencies, memory-free and
+memory-touching workloads — and require the batched outcomes, the
+pure-python fallback, and the end-to-end sweep records to match the
+serial path exactly, including the de-batch paths where timing
+classes differ.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.batch import plan_batches
+from repro.batch.accumulate import FORCE_PYTHON_ENV
+from repro.batch.execute import batched_simulate
+from repro.experiments.sweep import SweepPoint, sweep
+from repro.isa.instructions import Unit
+from repro.isa.program import Instruction, flat_program
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3
+from repro.system import PitonSystem, run_simulation
+from repro.workloads.base import TileProgram
+from repro.workloads.microbench import int_tile
+
+
+def mem_tile() -> TileProgram:
+    """A tiny ldx loop: reaches DRAM, so core frequency matters."""
+    body = [
+        Instruction("ldx", rd=9 + i, rs1=8, imm=i * 8) for i in range(4)
+    ]
+    body.append(Instruction("bne", rs1=16, target=0))
+    return TileProgram(
+        programs=[flat_program(body)],
+        init_regs={8: 0x1000, 16: 1},
+        memory_image={0x1000 + i * 8: i + 1 for i in range(4)},
+    )
+
+
+FACTORIES = {
+    "int": lambda tile: int_tile(),
+    "mem": lambda tile: mem_tile(),
+}
+
+POINTS = st.lists(
+    st.builds(
+        SweepPoint,
+        persona=st.sampled_from([CHIP1, CHIP2, CHIP3]),
+        vdd=st.sampled_from([0.85, 0.95, 1.05, 1.15]),
+        freq_hz=st.sampled_from([None, 400e6, 700e6]),
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+def _requests(points, factory):
+    requests = []
+    for point in points:
+        system = PitonSystem.default(persona=point.persona, seed=0)
+        freq = point.resolved_freq_hz()
+        system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
+        requests.append(
+            system.sim_request(
+                {0: factory(0)}, warmup_cycles=100, window_cycles=400
+            )
+        )
+    return requests
+
+
+def _assert_outcomes_identical(batched, serial) -> None:
+    assert len(batched) == len(serial)
+    for got, want in zip(batched, serial):
+        assert got.result == want.result
+        # Same events, same float values, same ledger insertion order
+        # (power pricing sums in that order, so order is load-bearing).
+        assert list(got.ledger.counts.items()) == list(
+            want.ledger.counts.items()
+        )
+        assert list(got.ledger.weights.items()) == list(
+            want.ledger.weights.items()
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(points=POINTS, kind=st.sampled_from(["int", "mem"]))
+def test_batched_outcomes_match_serial(points, kind):
+    requests = _requests(points, FACTORIES[kind])
+    serial = [run_simulation(request) for request in requests]
+    batched = list(batched_simulate(requests))
+    _assert_outcomes_identical(batched, serial)
+
+    plan = plan_batches(requests)
+    if kind == "int":
+        # Memory-free workload: frequency can't matter, so the whole
+        # grid collapses into one simulation.
+        assert plan.n_groups == 1
+        assert plan.points_coalesced == len(requests) - 1
+    else:
+        # Memory-touching workload: distinct frequencies de-batch.
+        assert plan.n_groups == len({r.freq_hz for r in requests})
+        if plan.n_groups > 1:
+            assert plan.debatch_events > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(points=POINTS)
+def test_python_fallback_matches_numpy_backend(points):
+    import os
+
+    requests = _requests(points, FACTORIES["int"])
+    with_numpy = list(batched_simulate(requests))
+    os.environ[FORCE_PYTHON_ENV] = "1"
+    try:
+        pure_python = list(batched_simulate(requests))
+    finally:
+        del os.environ[FORCE_PYTHON_ENV]
+    _assert_outcomes_identical(pure_python, with_numpy)
+
+
+@settings(max_examples=6, deadline=None)
+@given(points=POINTS, kind=st.sampled_from(["int", "mem"]))
+def test_sweep_records_identical_batched_vs_serial(points, kind):
+    kwargs = dict(warmup_cycles=100, window_cycles=400)
+    factory = FACTORIES[kind]
+    baseline = sweep(points, factory, batch=False, **kwargs)
+    batched = sweep(points, factory, batch=True, **kwargs)
+    assert batched.records == baseline.records
+
+
+def test_mem_tile_really_touches_memory():
+    from repro.batch import workload_can_touch_memory
+
+    assert workload_can_touch_memory({0: mem_tile()})
+    assert not workload_can_touch_memory({0: int_tile()})
+    assert any(
+        info.unit is Unit.MEM for info in mem_tile().programs[0].infos
+    )

@@ -1,0 +1,60 @@
+"""Memoized OpcodeInfo resolution (repro.isa.program.resolve_infos).
+
+Sweep grids rebuild the same workload at every grid point; the
+per-instruction OpcodeInfo table used to be re-resolved on every
+rebuild. It is now a process-wide memoized tuple: same instruction
+stream -> the *same* table object, and the shared table is provably
+identical to a freshly resolved one.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import opcode
+from repro.isa.program import Instruction, Program, resolve_infos
+from repro.workloads.microbench import int_program
+
+
+def test_same_stream_shares_one_table() -> None:
+    a = int_program()
+    b = int_program()
+    assert a is not b
+    assert a.infos is b.infos  # memoized: one shared tuple
+
+
+def test_shared_table_identical_to_fresh_resolution() -> None:
+    program = int_program()
+    fresh = tuple(opcode(i.op) for i in program.instructions)
+    assert program.infos == fresh
+    # Entry-wise the cached table holds the exact INSTRUCTION_SET
+    # singletons, so sharing can never skew decode behaviour.
+    for cached, expected in zip(program.infos, fresh):
+        assert cached is expected
+
+
+def test_distinct_streams_get_distinct_tables() -> None:
+    add = Program([Instruction("add", rd=1, rs1=1, imm=1)])
+    xor = Program([Instruction("xor", rd=1, rs1=1, rs2=1)])
+    assert add.infos != xor.infos
+    assert add.infos[0] is opcode("add")
+    assert xor.infos[0] is opcode("xor")
+
+
+def test_refresh_after_mutation_tracks_instructions() -> None:
+    program = Program([Instruction("add", rd=1, rs1=1, imm=1)])
+    before = program.infos
+    program.instructions.append(Instruction("nop"))
+    program.refresh_infos()
+    assert len(program.infos) == 2
+    assert program.infos[0] is before[0]
+    assert program.infos[1] is opcode("nop")
+    # Re-resolving the original stream still hits the cache.
+    assert Program([Instruction("add", rd=1, rs1=1, imm=1)]).infos is before
+
+
+def test_cache_is_keyed_on_ops_only() -> None:
+    # Operand differences don't change decode tables; both programs
+    # share one cache entry.
+    a = Program([Instruction("add", rd=1, rs1=1, imm=1)])
+    b = Program([Instruction("add", rd=2, rs1=3, imm=9)])
+    assert a.infos is b.infos
+    assert resolve_infos(("add",)) is a.infos
