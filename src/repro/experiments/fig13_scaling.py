@@ -95,6 +95,7 @@ def run(ctx: RunContext) -> ExperimentResult:
         tracer=ctx.trace,
         supervision=ctx.supervision("fig13"),
         batch=ctx.batch,
+        fidelity=ctx.fidelity_policy(),
     )
 
     result = ExperimentResult(

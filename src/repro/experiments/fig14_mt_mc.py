@@ -149,6 +149,7 @@ def run(ctx: RunContext) -> ExperimentResult:
         tracer=ctx.trace,
         supervision=ctx.supervision("fig14"),
         batch=ctx.batch,
+        fidelity=ctx.fidelity_policy(),
     )
 
     idle_total_w = system.measure_idle().core.value

@@ -33,13 +33,23 @@ in order, so resumed results are bit-identical to uninterrupted ones.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    Sequence,
+    TypeVar,
+)
 
 from repro.batch import batched_simulate, plan_batches
 from repro.batch.execute import _simulate_stripped
 from repro.obs.trace import Tracer
 from repro.resilience import Supervision, SupervisedPool, request_digest
 from repro.system import SimOutcome, SimRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.surrogate.dispatch import FidelityPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -76,6 +86,7 @@ def parallel_simulate(
     tracer: Tracer | None = None,
     supervision: Supervision | None = None,
     batch: bool = False,
+    fidelity: "FidelityPolicy | None" = None,
 ) -> Iterator[SimOutcome]:
     """Run every request, yielding outcomes in request order.
 
@@ -115,6 +126,17 @@ def parallel_simulate(
     the whole grid); when nothing coalesces, execution falls straight
     through to the historical paths below at zero extra cost beyond
     the planning pass.
+
+    ``fidelity`` routes points through the two-tier dispatcher
+    (:mod:`repro.surrogate`): points a calibrated profile can serve
+    within tolerance come back as ``tier="fast"`` outcomes without a
+    simulation; everything else — novel workloads, out-of-envelope
+    clocks, checked runs — falls back to the simulator, with
+    ``surrogate_hits``/``surrogate_fallbacks`` counted on the policy's
+    tracer. ``fidelity=None`` (the default, and all of ``--tier sim``)
+    is byte-for-byte the historical cycle-level behavior, except that
+    journaled *surrogate* points from an earlier ``auto``/``fast`` run
+    are re-simulated rather than silently reused.
     """
     journal = supervision.journal if supervision is not None else None
     if batch:
@@ -135,23 +157,36 @@ def parallel_simulate(
                 )
         if plan.points_coalesced > 0:
             outcomes = batched_simulate(
-                materialized, plan, jobs=jobs, supervision=supervision
+                materialized,
+                plan,
+                jobs=jobs,
+                supervision=supervision,
+                fidelity=fidelity,
             )
             if tracer is None or not tracer.enabled:
                 return outcomes
             return _record_points(outcomes, tracer)
         requests = materialized
+    if fidelity is not None:
+        simulate_one: Callable[[SimRequest], SimOutcome] = (
+            lambda request: fidelity.predict(request)
+            or _simulate_stripped(request)
+        )
+    else:
+        simulate_one = _simulate_stripped
     if jobs <= 1 and journal is None:
         # The historical zero-cost serial path: fully lazy, nothing
         # supervised (an in-process failure is deterministic — a
         # retry would fail identically).
-        outcomes: Iterator[SimOutcome] = map(_simulate_stripped, requests)
+        outcomes: Iterator[SimOutcome] = map(simulate_one, requests)
     else:
         materialized = list(requests)
         if len(materialized) <= 1 and journal is None:
-            outcomes = map(_simulate_stripped, materialized)
+            outcomes = map(simulate_one, materialized)
         else:
-            outcomes = _run_supervised(materialized, jobs, supervision)
+            outcomes = _run_supervised(
+                materialized, jobs, supervision, fidelity
+            )
     if tracer is None or not tracer.enabled:
         return outcomes
     return _record_points(outcomes, tracer)
@@ -161,6 +196,7 @@ def _run_supervised(
     requests: Sequence[SimRequest],
     jobs: int,
     supervision: Supervision | None,
+    fidelity: "FidelityPolicy | None" = None,
 ) -> Iterator[SimOutcome]:
     """Run a materialized grid under supervision (and/or a journal).
 
@@ -169,6 +205,12 @@ def _run_supervised(
     serial journaled run — each appended to the journal the moment it
     completes, so an interrupt at any point loses only in-flight work.
 
+    Tier-awareness composes at the same per-point seam: a journaled
+    outcome must satisfy the active fidelity policy to be reused (a
+    surrogate point is re-simulated when cycle-level fidelity is
+    requested, counted as ``points_tier_rejected``), and points the
+    surrogate serves are journaled exactly like simulated ones.
+
     The journal is retired once the consumer has received the final
     outcome (tracked in the ``finally``: the generator knows the last
     index it yielded even when the consumer stops calling ``next``
@@ -176,6 +218,8 @@ def _run_supervised(
     interrupt unwinding through the measurement replay — leaves every
     completed point on disk for ``--resume``.
     """
+    from repro.surrogate.dispatch import accepts_cached_outcome
+
     supervision = supervision if supervision is not None else Supervision()
     journal = supervision.journal
     count = supervision.tracer.count
@@ -184,11 +228,26 @@ def _run_supervised(
     todo: list[int] = []
     for index, digest in enumerate(digests):
         cached = journal.get(index, digest) if journal is not None else None
+        if cached is not None and not accepts_cached_outcome(
+            cached, fidelity
+        ):
+            count("points_tier_rejected")
+            cached = None
         if cached is not None:
             outcomes[index] = cached
             count("points_resumed")
-        else:
-            todo.append(index)
+            continue
+        predicted = (
+            fidelity.predict(requests[index])
+            if fidelity is not None
+            else None
+        )
+        if predicted is not None:
+            outcomes[index] = predicted
+            if journal is not None:
+                journal.append(index, digest, predicted)
+            continue
+        todo.append(index)
     if journal is not None:
         journal.write_meta(
             experiment_id=supervision.experiment_id,

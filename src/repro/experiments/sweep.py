@@ -16,6 +16,7 @@ from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience import Supervision
+    from repro.surrogate.dispatch import FidelityPolicy
 from repro.power.vf_curve import VfCurve
 from repro.silicon.variation import CHIP2, ChipPersona
 from repro.system import PitonSystem
@@ -100,6 +101,7 @@ def sweep(
     tracer: "Tracer | None" = None,
     supervision: "Supervision | None" = None,
     batch: bool = True,
+    fidelity: "FidelityPolicy | None" = None,
 ) -> SweepResult:
     """Measure ``workload_factory`` at every grid point.
 
@@ -121,6 +123,14 @@ def sweep(
     common case for this function, since persona and VDD never affect
     the simulation, and the core clock only matters to workloads that
     reach the off-chip path. Results are bit-identical either way.
+
+    ``fidelity`` (from :meth:`RunContext.fidelity_policy`, or a
+    :class:`~repro.surrogate.FidelityPolicy` built directly) is the
+    two-tier dispatcher: calibrated points within tolerance skip the
+    simulator entirely and are priced through the same measurement
+    replay. This is the fast path that turns dense V/f grids over
+    *distinct* timing classes — the points batching cannot coalesce —
+    from hours into seconds.
     """
     from repro.experiments.parallel import parallel_simulate
 
@@ -147,6 +157,7 @@ def sweep(
         tracer=tracer,
         supervision=supervision,
         batch=batch,
+        fidelity=fidelity,
     )
 
     for (point, freq, system), outcome in zip(systems, outcomes):

@@ -37,6 +37,11 @@ class RunManifest:
     #: the plan's actual numbers (groups, coalesced points, de-batch
     #: events) ride in ``extra["batch"]`` when a grid was planned.
     batch: bool = True
+    #: Fidelity tier the run was launched with (``sim``/``auto``/
+    #: ``fast``); per-point surrogate accounting rides in
+    #: ``resilience`` (``surrogate_hits``/``surrogate_fallbacks``) and
+    #: ``extra["surrogate_max_err"]``.
+    tier: str = "sim"
     persona: str | None = None
     interleave: str | None = None
     operating_point: dict[str, float] | None = None
@@ -64,6 +69,7 @@ class RunManifest:
             "telemetry": self.telemetry,
             "checks": self.checks,
             "batch": self.batch,
+            "tier": self.tier,
             "wall_s_total": self.wall_s_total,
             "persona": self.persona,
             "interleave": self.interleave,
@@ -100,6 +106,7 @@ class RunManifest:
             f"run manifest: {self.experiment_id} "
             f"(quick={self.quick}, jobs={self.jobs}, "
             f"persona={self.persona or '-'}, "
+            f"tier={self.tier}, "
             f"points={self.points})",
             f"  wall total: {self.wall_s_total:.3f}s",
         ]
@@ -152,6 +159,7 @@ def build_manifest(
         telemetry=tracer.enabled,
         checks=ctx.checks,
         batch=ctx.batch,
+        tier=getattr(ctx, "tier", "sim"),
         wall_s_total=wall_s_total,
         persona=meta.pop("persona", None),
         interleave=meta.pop("interleave", None),

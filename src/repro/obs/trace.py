@@ -128,6 +128,17 @@ class Tracer:
         """Bump one resilience counter (retry, timeout, resume hit...)."""
         self.resilience[name] = self.resilience.get(name, 0) + n
 
+    def gauge_max(self, key: str, value: float) -> None:
+        """Record the running maximum of a float gauge into ``meta``.
+
+        Used for run-wide worst-case figures (e.g. the largest error
+        bound of any surrogate-served point, ``surrogate_max_err``);
+        lands in ``RunManifest.extra`` alongside the other meta facts.
+        """
+        current = self.meta.get(key)
+        if not isinstance(current, (int, float)) or value > current:
+            self.meta[key] = value
+
     def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:
         """Fold one measured window's events into the run totals."""
         counts = self.event_counts
@@ -159,6 +170,9 @@ class _NullTracer(Tracer):
         pass
 
     def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge_max(self, key: str, value: float) -> None:
         pass
 
     def observe_ledger(self, ledger: "EventLedger", cycles: float) -> None:

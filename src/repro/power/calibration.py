@@ -185,8 +185,13 @@ class Calibration:
     vcs_nom: float = 1.05
     vio_nom: float = 1.80
 
+    # ``hash=False``: the mapping is excluded from the generated
+    # ``__hash__`` (dicts are unhashable) but still participates in
+    # ``__eq__``, so Calibration stays usable as an ``lru_cache`` key
+    # in the grid-loop memoizers while distinct energy tables never
+    # collide (equal hash, unequal eq -> separate cache entries).
     event_energies: Mapping[str, EventEnergy] = field(
-        default_factory=lambda: dict(EVENT_ENERGIES)
+        default_factory=lambda: dict(EVENT_ENERGIES), hash=False
     )
 
     def energy_for(self, name: str) -> EventEnergy | None:

@@ -16,6 +16,7 @@ paper's Figure 9 error bars.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.power.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.power.chip_power import ChipPowerModel, OperatingPoint
@@ -105,7 +106,20 @@ class VfCurve:
         return 0.0, True, temp
 
     def boot_frequency(self, vdd: float) -> VfPoint:
-        """Highest grid frequency at which Linux boots at ``vdd``."""
+        """Highest grid frequency at which Linux boots at ``vdd``.
+
+        Memoized across VfCurve instances: sweep runners construct a
+        fresh curve per point with identical (persona, calib, ambient)
+        arguments, and the thermal fixed point is the expensive part of
+        resolving a grid point's frequency. The cache key is the full
+        curve identity, and :class:`VfPoint` is frozen, so the cached
+        value is bit-identical to and as safe as a fresh solve.
+        """
+        return _cached_boot_point(
+            self.persona, self.calib, self.ambient_c, vdd
+        )
+
+    def _solve_boot_frequency(self, vdd: float) -> VfPoint:
         fmax, limited, temp = self.achievable_fmax_hz(vdd)
         quantized = (fmax // FREQ_STEP_HZ) * FREQ_STEP_HZ
         return VfPoint(
@@ -118,6 +132,13 @@ class VfCurve:
 
     def sweep(self, vdd_values: list[float]) -> list[VfPoint]:
         return [self.boot_frequency(v) for v in vdd_values]
+
+
+@lru_cache(maxsize=4096)
+def _cached_boot_point(
+    persona: ChipPersona, calib: Calibration, ambient_c: float, vdd: float
+) -> VfPoint:
+    return VfCurve(persona, calib, ambient_c)._solve_boot_frequency(vdd)
 
 
 def idle_ledger() -> EventLedger:

@@ -1,0 +1,300 @@
+"""Fit a workload profile from cycle-level anchor runs.
+
+Calibration is the one place the surrogate pays cycle-level cost:
+
+1. run the simulator at K anchor clocks spanning the sweep range
+   (frequency-independent workloads need exactly one anchor — their
+   outcome provably cannot depend on the clock);
+2. run held-out **validation** clocks between each anchor pair and
+   compare the simulator against the interpolated prediction on every
+   tracked metric (cycles, instructions, per-rail power, EPI);
+3. persist the anchors plus ``max(validation error) * safety`` as the
+   profile's per-metric error bars.
+
+The bars are what ``--tier auto`` gates on: a point is served by the
+surrogate only when the profile's worst bar fits inside the requested
+``--fidelity`` tolerance, so "within the persisted bound" is a
+property the dispatcher enforces by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.power.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.power.chip_power import ChipPowerModel, OperatingPoint
+from repro.silicon.variation import ChipPersona, TYPICAL
+from repro.surrogate.model import SurrogateModel, profile_key
+from repro.surrogate.profile import (
+    PROFILE_METRICS,
+    AnchorRun,
+    WorkloadProfile,
+)
+from repro.surrogate.store import ProfileStore
+from repro.surrogate.workloads import CALIBRATION_WORKLOADS
+from repro.system import SimOutcome, run_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import SimRequest
+
+#: Default anchor clock range: brackets every achievable Fmax the
+#: Figure 9 V/f envelope reaches between 0.75V and 1.2V.
+DEFAULT_FREQ_RANGE_HZ = (150e6, 900e6)
+DEFAULT_ANCHORS = 4
+#: Held-out validation clocks per anchor interval (interval fractions).
+VALIDATION_FRACTIONS = (0.25, 0.5, 0.75)
+#: Error bars are worst validation error times this safety margin — a
+#: hedge against the validation grid missing the worst point between
+#: anchors — plus a tiny floor so a bound of exactly 0 is reserved for
+#: provably exact (frequency-independent) profiles.
+DEFAULT_SAFETY = 3.0
+BOUND_FLOOR = 1e-6
+
+#: Die temperature at which validation metrics are priced. Any fixed
+#: point works — relative error in event counts is what is being
+#: measured, and rails/temp scale predicted and actual identically —
+#: but a realistic loaded-die temperature keeps the report's absolute
+#: watts meaningful.
+VALIDATION_TEMP_C = 45.0
+
+
+def default_anchor_freqs(
+    count: int = DEFAULT_ANCHORS,
+    freq_range_hz: tuple[float, float] = DEFAULT_FREQ_RANGE_HZ,
+) -> list[float]:
+    lo, hi = freq_range_hz
+    if count < 2:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def outcome_metrics(
+    outcome: SimOutcome,
+    freq_hz: float,
+    persona: ChipPersona = TYPICAL,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    vdd: float | None = None,
+) -> dict[str, float]:
+    """The tracked figures of one outcome, priced noise-free.
+
+    Evaluates the deterministic :class:`ChipPowerModel` directly (no
+    bench monitor noise), which is the honest way to compare surrogate
+    against simulator: both tiers share the stochastic measurement
+    layer downstream, so model-vs-model is the only error the
+    surrogate introduces.
+    """
+    vdd = calib.vdd_nom if vdd is None else vdd
+    op = OperatingPoint(
+        vdd=vdd,
+        vcs=vdd + 0.05,
+        vio=calib.vio_nom,
+        freq_hz=freq_hz,
+        temp_c=VALIDATION_TEMP_C,
+    )
+    model = ChipPowerModel(persona, calib)
+    cycles = outcome.result.cycles
+    event = model.event_power(outcome.ledger, cycles, op)
+    total = model.total_power(outcome.ledger, cycles, op)
+    window_s = cycles / freq_hz
+    instructions = max(outcome.result.instructions, 1)
+    return {
+        "cycles": float(cycles),
+        "instructions": float(outcome.result.instructions),
+        "event_core_w": event.core_w,
+        "vdd_w": total.vdd_w,
+        "vcs_w": total.vcs_w,
+        "core_w": total.core_w,
+        "total_w": total.total_w,
+        "epi_pj": event.core_w * window_s / instructions * 1e12,
+    }
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    return abs(predicted - actual) / max(abs(actual), 1e-18)
+
+
+@dataclass
+class CalibrationReport:
+    """What one calibration run cost and how well the fit held."""
+
+    workload: str
+    key: str
+    freq_independent: bool
+    anchor_freqs_hz: list[float]
+    error_bounds: dict[str, float]
+    validation: list[dict[str, float]] = field(default_factory=list)
+    sim_wall_s: float = 0.0
+    sim_runs: int = 0
+    path: str | None = None
+
+    @property
+    def error_bound(self) -> float:
+        """Worst gated-metric bound (mirrors the profile's gate)."""
+        from repro.surrogate.profile import GATE_METRICS
+
+        return max(
+            (
+                bound
+                for metric, bound in self.error_bounds.items()
+                if metric in GATE_METRICS
+            ),
+            default=0.0,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "key": self.key,
+            "freq_independent": self.freq_independent,
+            "anchor_freqs_hz": list(self.anchor_freqs_hz),
+            "error_bound": self.error_bound,
+            "error_bounds": dict(self.error_bounds),
+            "validation": [dict(v) for v in self.validation],
+            "sim_wall_s": self.sim_wall_s,
+            "sim_runs": self.sim_runs,
+            "path": self.path,
+        }
+
+    def summary(self) -> str:
+        kind = (
+            "freq-independent (exact)"
+            if self.freq_independent
+            else f"bound {self.error_bound:.4%}"
+        )
+        return (
+            f"calibrated {self.workload}: {len(self.anchor_freqs_hz)} "
+            f"anchor(s), {self.sim_runs} cycle-level runs "
+            f"({self.sim_wall_s:.2f}s), {kind}"
+        )
+
+
+def calibrate_request(
+    request: "SimRequest",
+    workload_name: str = "?",
+    anchor_freqs: list[float] | None = None,
+    safety: float = DEFAULT_SAFETY,
+    persona: ChipPersona = TYPICAL,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> tuple[WorkloadProfile, CalibrationReport]:
+    """Fit the profile for one request's workload-affinity class."""
+    from repro.batch.key import workload_can_touch_memory
+
+    freq_dependent = workload_can_touch_memory(request.workload)
+    key = profile_key(request)
+    if not freq_dependent:
+        # One anchor reproduces the simulator exactly at every clock.
+        freqs = [request.freq_hz]
+    else:
+        freqs = sorted(set(anchor_freqs or default_anchor_freqs()))
+        if len(freqs) < 2:
+            raise ValueError(
+                "frequency-dependent workloads need at least two "
+                "anchor clocks to interpolate between"
+            )
+
+    wall = 0.0
+    runs = 0
+
+    def simulate(freq_hz: float) -> SimOutcome:
+        nonlocal wall, runs
+        outcome = run_simulation(replace(request, freq_hz=freq_hz))
+        wall += outcome.build_wall_s + outcome.sim_wall_s
+        runs += 1
+        return outcome
+
+    anchors = []
+    for freq in freqs:
+        outcome = simulate(freq)
+        anchors.append(
+            AnchorRun(
+                freq_hz=freq,
+                cycles=outcome.result.cycles,
+                instructions=outcome.result.instructions,
+                completed=outcome.result.completed,
+                counts=dict(outcome.ledger.counts),
+                weights=dict(outcome.ledger.weights),
+                sim_wall_s=outcome.build_wall_s + outcome.sim_wall_s,
+            )
+        )
+
+    profile = WorkloadProfile(
+        key=key,
+        workload=workload_name,
+        freq_independent=not freq_dependent,
+        anchors=anchors,
+    )
+
+    validation: list[dict[str, float]] = []
+    if freq_dependent:
+        model = SurrogateModel(profile)
+        anchor_set = set(freqs)
+        for lo, hi in zip(freqs, freqs[1:]):
+            for frac in VALIDATION_FRACTIONS:
+                freq = lo + frac * (hi - lo)
+                if freq in anchor_set:
+                    continue
+                probe = replace(request, freq_hz=freq)
+                actual = outcome_metrics(
+                    simulate(freq), freq, persona, calib
+                )
+                predicted = outcome_metrics(
+                    model.predict(probe), freq, persona, calib
+                )
+                row: dict[str, float] = {"freq_hz": freq}
+                for metric in PROFILE_METRICS:
+                    row[metric] = relative_error(
+                        predicted[metric], actual[metric]
+                    )
+                validation.append(row)
+
+    if validation:
+        profile.error_bounds = {
+            metric: max(row[metric] for row in validation) * safety
+            + BOUND_FLOOR
+            for metric in PROFILE_METRICS
+        }
+        profile.validation = validation
+
+    report = CalibrationReport(
+        workload=workload_name,
+        key=key,
+        freq_independent=profile.freq_independent,
+        anchor_freqs_hz=list(freqs),
+        error_bounds=dict(profile.error_bounds),
+        validation=list(validation),
+        sim_wall_s=wall,
+        sim_runs=runs,
+    )
+    return profile, report
+
+
+def calibrate_named(
+    name: str,
+    quick: bool = False,
+    anchor_freqs: list[float] | None = None,
+    store: ProfileStore | None = None,
+    safety: float = DEFAULT_SAFETY,
+    persona: ChipPersona = TYPICAL,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> CalibrationReport:
+    """Calibrate one registry workload and persist its profile."""
+    try:
+        named = CALIBRATION_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(CALIBRATION_WORKLOADS))
+        raise SystemExit(
+            f"unknown calibration workload {name!r} (known: {known})"
+        ) from None
+    profile, report = calibrate_request(
+        named.base_request(quick=quick),
+        workload_name=name,
+        anchor_freqs=anchor_freqs,
+        safety=safety,
+        persona=persona,
+        calib=calib,
+    )
+    store = store if store is not None else ProfileStore()
+    report.path = str(store.save(profile))
+    return report

@@ -1,0 +1,200 @@
+"""Per-workload event-rate profiles: the surrogate's calibrated state.
+
+A :class:`WorkloadProfile` is what ``repro calibrate`` persists for one
+workload-affinity class (see :func:`repro.batch.key.affinity_key`): the
+raw event ledgers of a handful of cycle-level **anchor** simulations at
+different clocks, plus the validation-fitted per-metric error bars of
+interpolating between them.
+
+The design splits prediction responsibilities the same way the
+simulator/bench split does:
+
+* everything *architectural* (event counts, activity weights, cycles,
+  instructions) is interpolated from the anchors — this is the only
+  approximation, and only the clock axis is approximated at all;
+* everything *electrical* (V, persona, temperature, leakage, CV^2f,
+  per-event pricing) is evaluated exactly by the existing
+  :mod:`repro.power` equations at the requested operating point.
+
+For workloads whose batch key is frequency-independent (no ``Unit.MEM``
+instruction and no memory image) the architectural outcome provably
+does not depend on the clock, so a single anchor reproduces the
+simulator bit-for-bit and the profile's error bound is exactly zero.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Metrics tracked by calibration validation. Each gets its own error
+#: bar in the persisted profile and the ``repro calibrate`` report.
+PROFILE_METRICS = (
+    "cycles",
+    "instructions",
+    "event_core_w",
+    "vdd_w",
+    "vcs_w",
+    "core_w",
+    "total_w",
+    "epi_pj",
+)
+
+#: The subset the ``--tier auto`` dispatcher gates on: the figures a
+#: sweep actually reports (per-rail power and EPI). Raw ``cycles`` /
+#: ``instructions`` bars stay visible in the report but do not gate —
+#: on short windows they are dominated by integer granularity (±1
+#: instruction on a 6-instruction window is a 17% "error") that the
+#: power figures, which divide by window time, do not inherit.
+GATE_METRICS = (
+    "event_core_w",
+    "vdd_w",
+    "vcs_w",
+    "core_w",
+    "total_w",
+    "epi_pj",
+)
+
+
+@dataclass(frozen=True)
+class AnchorRun:
+    """One cycle-level anchor simulation, stored raw.
+
+    Counts and weights are the anchor ledger's exact floats — stored
+    untransformed so a prediction *at* an anchor frequency reproduces
+    the simulator's ledger bit-for-bit.
+    """
+
+    freq_hz: float
+    cycles: int
+    instructions: int
+    completed: bool
+    counts: Mapping[str, float] = field(hash=False, default_factory=dict)
+    weights: Mapping[str, float] = field(hash=False, default_factory=dict)
+    #: Wall-clock cost of producing this anchor (build + simulate),
+    #: recorded so reports can show what calibration bought.
+    sim_wall_s: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "freq_hz": self.freq_hz,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "completed": self.completed,
+            "counts": dict(self.counts),
+            "weights": dict(self.weights),
+            "sim_wall_s": self.sim_wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AnchorRun":
+        return cls(
+            freq_hz=float(data["freq_hz"]),  # type: ignore[arg-type]
+            cycles=int(data["cycles"]),  # type: ignore[arg-type]
+            instructions=int(data["instructions"]),  # type: ignore[arg-type]
+            completed=bool(data["completed"]),
+            counts=dict(data["counts"]),  # type: ignore[arg-type]
+            weights=dict(data["weights"]),  # type: ignore[arg-type]
+            sim_wall_s=float(data.get("sim_wall_s", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class WorkloadProfile:
+    """Calibrated surrogate state for one workload-affinity class."""
+
+    #: Hex sha256 of the request's clockless pickle — the same digest
+    #: family the checkpoint journal and batch planner key on. Covers
+    #: workload, config, interleave, window, drafting, and checks, so a
+    #: profile can never be applied to a request it was not fitted for.
+    key: str
+    #: Human-readable name of the workload that was calibrated (for
+    #: reports only; the ``key`` is the identity).
+    workload: str
+    #: True when the batch key proves the clock cannot affect the
+    #: architectural outcome; prediction is then exact at any clock.
+    freq_independent: bool
+    anchors: list[AnchorRun]
+    #: Per-metric relative error bound fitted from held-out validation
+    #: points (empty means "no interpolation happens": exact).
+    error_bounds: dict[str, float] = field(default_factory=dict)
+    #: Raw per-validation-point relative errors, for the report artifact.
+    validation: list[dict[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.anchors:
+            raise ValueError("a profile needs at least one anchor run")
+        self.anchors = sorted(self.anchors, key=lambda a: a.freq_hz)
+        freqs = [a.freq_hz for a in self.anchors]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("anchor frequencies must be distinct")
+
+    # ------------------------------------------------------------- properties
+    @property
+    def freq_min_hz(self) -> float:
+        return self.anchors[0].freq_hz
+
+    @property
+    def freq_max_hz(self) -> float:
+        return self.anchors[-1].freq_hz
+
+    @property
+    def error_bound(self) -> float:
+        """The dispatcher's gate: worst gated-metric bound (0.0 = exact)."""
+        return max(
+            (
+                bound
+                for metric, bound in self.error_bounds.items()
+                if metric in GATE_METRICS
+            ),
+            default=0.0,
+        )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "key": self.key,
+            "workload": self.workload,
+            "freq_independent": self.freq_independent,
+            "anchors": [a.to_dict() for a in self.anchors],
+            "error_bounds": dict(self.error_bounds),
+            "validation": [dict(v) for v in self.validation],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadProfile":
+        version = data.get("schema_version")
+        if version != PROFILE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported profile schema_version {version!r} "
+                f"(supported: {PROFILE_SCHEMA_VERSION}); re-run "
+                f"`repro calibrate` to refresh this profile"
+            )
+        return cls(
+            key=str(data["key"]),
+            workload=str(data.get("workload", "?")),
+            freq_independent=bool(data["freq_independent"]),
+            anchors=[
+                AnchorRun.from_dict(a)
+                for a in data["anchors"]  # type: ignore[union-attr]
+            ],
+            error_bounds={
+                str(k): float(v)
+                for k, v in dict(data.get("error_bounds", {})).items()  # type: ignore[arg-type]
+            },
+            validation=[
+                {str(k): float(v) for k, v in dict(row).items()}
+                for row in data.get("validation", [])  # type: ignore[union-attr]
+            ],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadProfile":
+        return cls.from_dict(json.loads(text))

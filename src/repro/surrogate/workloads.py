@@ -1,0 +1,99 @@
+"""Named calibration workloads shared by ``calibrate`` and ``sweep``.
+
+Profiles are keyed by the request's clockless sha256 digest, so the
+calibration step and any later sweep must build *byte-identical*
+requests (same programs, same window, same topology) for the profile
+to be found. This registry is that shared construction path: a small
+menu of representative workloads — one provably frequency-independent
+integer loop, the shared-data histogram, and the Table VII memory
+scenarios whose distinct timing classes are exactly the points
+batching cannot coalesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.system import PitonSystem, SimRequest
+from repro.workloads.base import TileProgram
+from repro.workloads.memtests import build_memtest
+from repro.workloads.microbench import (
+    hist_workload,
+    int_tile,
+    microbench_core_ids,
+)
+
+#: build(quick) -> (workload, warmup_cycles, window_cycles)
+_Builder = Callable[[bool], tuple[Mapping[int, TileProgram], int, int]]
+
+
+@dataclass(frozen=True)
+class NamedWorkload:
+    """One calibratable workload: a deterministic request builder."""
+
+    name: str
+    description: str
+    build: _Builder
+
+    def base_request(
+        self, quick: bool = False, freq_hz: float | None = None
+    ) -> SimRequest:
+        """The canonical request this workload calibrates/sweeps as."""
+        workload, warmup, window = self.build(quick)
+        system = PitonSystem.default()
+        if freq_hz is not None:
+            system.set_operating_point(1.0, 1.05, freq_hz)
+        return system.sim_request(
+            dict(workload),
+            warmup_cycles=warmup,
+            window_cycles=window,
+        )
+
+
+def _int(quick: bool):
+    cores = 2 if quick else 4
+    tiles = {tile: int_tile() for tile in microbench_core_ids(cores)}
+    return tiles, (1000 if quick else 2000), (3000 if quick else 6000)
+
+
+def _hist(quick: bool):
+    cores = 2 if quick else 4
+    tiles = hist_workload(microbench_core_ids(cores), 1).tiles
+    return tiles, (1000 if quick else 2000), (2500 if quick else 5000)
+
+
+def _mem(scenario: str, quick: bool):
+    # Memory latencies run hundreds of core cycles, so the window must
+    # cover many loop trips for per-window counts to be statistically
+    # smooth; too short a window turns integer granularity into fake
+    # interpolation error in the fitted bars.
+    tiles = {0: build_memtest(scenario, 0).tile_program}
+    return tiles, (1500 if quick else 3000), (12000 if quick else 36000)
+
+
+CALIBRATION_WORKLOADS: dict[str, NamedWorkload] = {
+    nw.name: nw
+    for nw in (
+        NamedWorkload(
+            "int",
+            "pure integer loop (frequency-independent, exact surrogate)",
+            _int,
+        ),
+        NamedWorkload(
+            "hist",
+            "shared-data histogram (memory-touching, Fig 13's Hist)",
+            _hist,
+        ),
+        NamedWorkload(
+            "mem_l2",
+            "Table VII local L2 hit loop (frequency-dependent)",
+            lambda quick: _mem("l2_hit_local", quick),
+        ),
+        NamedWorkload(
+            "mem_dram",
+            "Table VII L2 miss loop (off-chip latency dominated)",
+            lambda quick: _mem("l2_miss_local", quick),
+        ),
+    )
+}

@@ -125,6 +125,15 @@ class SimOutcome:
     #: (``None`` otherwise). A plain dict, so it pickles back from
     #: pool workers for the parent suite to merge.
     check_counts: dict[str, int] | None = None
+    #: Which fidelity tier produced this outcome: ``"sim"`` for the
+    #: cycle-level simulator, ``"fast"`` for the calibrated analytical
+    #: surrogate (:mod:`repro.surrogate`). Rides inside checkpoint
+    #: journal payloads so ``--resume`` is tier-aware: a cycle-level
+    #: resume never silently reuses surrogate points.
+    tier: str = "sim"
+    #: Calibrated relative error bound of the surrogate prediction
+    #: (0.0 for cycle-level outcomes).
+    tier_err: float = 0.0
 
 
 def build_engine(

@@ -1,0 +1,158 @@
+"""Property-based tests: the surrogate honours its calibrated contract.
+
+Over randomly drawn (V, f, persona) operating points:
+
+* an in-envelope prediction's error against the cycle-level simulator
+  stays within the profile's persisted per-metric bars (the bars gate
+  ``--tier auto`` dispatch, so this is the contract the two-tier
+  executor relies on);
+* out-of-envelope clocks are never served — the dispatcher falls back
+  and the raw model refuses to extrapolate;
+* frequency-independent workloads predict the simulator bit-exactly at
+  any clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.silicon.variation import CHIP1, CHIP2, CHIP3, TYPICAL
+from repro.surrogate import (
+    GATE_METRICS,
+    FidelityPolicy,
+    ProfileStore,
+    SurrogateModel,
+    outcome_metrics,
+    profile_key,
+)
+from repro.surrogate.calibrate import calibrate_request
+from repro.surrogate.workloads import CALIBRATION_WORKLOADS
+from repro.system import run_simulation
+
+FREQ_LO = 200e6
+FREQ_HI = 800e6
+ANCHORS = [200e6, 400e6, 600e6, 800e6]
+
+personas = st.sampled_from([TYPICAL, CHIP1, CHIP2, CHIP3])
+vdds = st.floats(0.8, 1.2)
+in_envelope_freqs = st.floats(FREQ_LO, FREQ_HI)
+out_of_envelope_freqs = st.one_of(
+    st.floats(20e6, FREQ_LO - 1e6), st.floats(FREQ_HI + 1e6, 2e9)
+)
+
+
+@pytest.fixture(scope="module")
+def mem_calibration(tmp_path_factory):
+    """One quick calibration of the L2-hit loop, shared by the module."""
+    request = CALIBRATION_WORKLOADS["mem_l2"].base_request(quick=True)
+    profile, report = calibrate_request(
+        request, workload_name="mem_l2", anchor_freqs=ANCHORS
+    )
+    store = ProfileStore(tmp_path_factory.mktemp("profiles"))
+    store.save(profile)
+    return request, profile, store
+
+
+@pytest.fixture(scope="module")
+def int_calibration():
+    """The frequency-independent integer loop (single anchor, exact)."""
+    request = CALIBRATION_WORKLOADS["int"].base_request(quick=True)
+    profile, _ = calibrate_request(request, workload_name="int")
+    return request, profile
+
+
+class TestWithinCalibratedBound:
+    @given(freq_hz=in_envelope_freqs, vdd=vdds, persona=personas)
+    @settings(max_examples=25, deadline=None)
+    def test_gated_metrics_within_bars(
+        self, mem_calibration, freq_hz, vdd, persona
+    ):
+        request, profile, _ = mem_calibration
+        probe = replace(request, freq_hz=freq_hz)
+        model = SurrogateModel(profile)
+        assert model.in_envelope(probe)
+        predicted = outcome_metrics(
+            model.predict(probe), freq_hz, persona=persona, vdd=vdd
+        )
+        actual = outcome_metrics(
+            run_simulation(probe), freq_hz, persona=persona, vdd=vdd
+        )
+        for metric in GATE_METRICS:
+            bound = profile.error_bounds[metric]
+            err = abs(predicted[metric] - actual[metric]) / max(
+                abs(actual[metric]), 1e-18
+            )
+            assert err <= bound, (
+                f"{metric}: error {err:.4%} exceeds calibrated bound "
+                f"{bound:.4%} at f={freq_hz/1e6:.1f} MHz"
+            )
+
+    @given(freq_hz=st.sampled_from(ANCHORS))
+    @settings(max_examples=len(ANCHORS), deadline=None)
+    def test_anchor_clocks_replay_bit_exactly(
+        self, mem_calibration, freq_hz
+    ):
+        request, profile, _ = mem_calibration
+        probe = replace(request, freq_hz=freq_hz)
+        predicted = SurrogateModel(profile).predict(probe)
+        actual = run_simulation(probe)
+        assert predicted.tier_err == 0.0
+        assert predicted.result == actual.result
+        assert dict(predicted.ledger.counts) == dict(actual.ledger.counts)
+        assert dict(predicted.ledger.weights) == dict(
+            actual.ledger.weights
+        )
+
+
+class TestOutOfEnvelope:
+    @given(freq_hz=out_of_envelope_freqs)
+    @settings(max_examples=30, deadline=None)
+    def test_dispatcher_always_falls_back(self, mem_calibration, freq_hz):
+        request, profile, store = mem_calibration
+        probe = replace(request, freq_hz=freq_hz)
+        policy = FidelityPolicy(store=store, tier="fast")
+        assert not SurrogateModel(profile).in_envelope(probe)
+        assert policy.predict(probe) is None
+
+    @given(freq_hz=out_of_envelope_freqs)
+    @settings(max_examples=10, deadline=None)
+    def test_model_refuses_to_extrapolate(self, mem_calibration, freq_hz):
+        request, profile, _ = mem_calibration
+        with pytest.raises(ValueError, match="envelope"):
+            SurrogateModel(profile).predict(
+                replace(request, freq_hz=freq_hz)
+            )
+
+
+class TestFreqIndependentExactness:
+    @given(freq_hz=st.floats(20e6, 2e9))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_is_bit_exact_at_any_clock(
+        self, int_calibration, freq_hz
+    ):
+        request, profile = int_calibration
+        probe = replace(request, freq_hz=freq_hz)
+        predicted = SurrogateModel(profile).predict(probe)
+        # One reference simulation is enough: the batch key proves the
+        # clock cannot reach the architectural outcome.
+        actual = run_simulation(probe)
+        assert profile.freq_independent
+        assert profile.error_bound == 0.0
+        assert predicted.tier_err == 0.0
+        assert predicted.result == actual.result
+        assert dict(predicted.ledger.counts) == dict(actual.ledger.counts)
+        assert dict(predicted.ledger.weights) == dict(
+            actual.ledger.weights
+        )
+
+    def test_profile_key_matches_any_clock(self, int_calibration):
+        request, profile = int_calibration
+        for freq in (100e6, 500.05e6, 1.5e9):
+            assert (
+                profile_key(replace(request, freq_hz=freq))
+                == profile.key
+            )

@@ -69,6 +69,59 @@ class TestExperimentResult:
         with pytest.raises(ValueError, match="schema_version"):
             ExperimentResult.from_dict(d)
 
+    def make_tiered(self):
+        """A result whose manifest carries two-tier accounting."""
+        from repro.obs.manifest import RunManifest
+
+        result = self.make()
+        result.manifest = RunManifest(
+            experiment_id="figX",
+            quick=True,
+            jobs=1,
+            telemetry=True,
+            wall_s_total=0.5,
+            tier="auto",
+            resilience={
+                "surrogate_hits": 7,
+                "surrogate_fallbacks": 2,
+                "points_tier_rejected": 1,
+            },
+            extra={"surrogate_max_err": 0.0123},
+        )
+        return result
+
+    def test_round_trip_preserves_tier_and_counters(self):
+        restored = ExperimentResult.from_json(
+            self.make_tiered().to_json()
+        )
+        manifest = restored.manifest
+        assert manifest is not None
+        assert manifest.tier == "auto"
+        assert manifest.resilience == {
+            "surrogate_hits": 7,
+            "surrogate_fallbacks": 2,
+            "points_tier_rejected": 1,
+        }
+        assert manifest.extra["surrogate_max_err"] == 0.0123
+
+    def test_round_trip_defaults_tier_for_old_documents(self):
+        # Documents written before the surrogate existed have no tier
+        # key; loading them must not invent a non-sim tier.
+        d = self.make_tiered().to_dict()
+        del d["manifest"]["tier"]  # type: ignore[index]
+        restored = ExperimentResult.from_dict(d)
+        assert restored.manifest is not None
+        assert restored.manifest.tier == "sim"
+
+    def test_from_dict_rejects_unknown_manifest_version(self):
+        # The PR 4 guard extends to the nested manifest document: the
+        # tier fields ride inside it, so a future manifest bump must
+        # not be silently misread as today's layout.
+        d = self.make_tiered().to_dict()
+        d["manifest"]["schema_version"] = 999  # type: ignore[index]
+        with pytest.raises(ValueError, match="manifest schema_version"):
+            ExperimentResult.from_dict(d)
+
     def test_to_json_is_valid_json(self):
         parsed = json.loads(self.make().to_json())
         assert parsed["title"] == "demo"
