@@ -24,7 +24,14 @@ Subcommands mirror what a user of the real bench would do:
   ``results/surrogate/``
 * ``sweep <workload>``          — dense V/f grid over one calibrated
   workload; ``--tier auto`` serves in-tolerance points from the
-  analytical surrogate in microseconds instead of simulating them
+  analytical surrogate in microseconds instead of simulating them;
+  ``--spec FILE`` loads the whole grid from a serialized
+  :class:`~repro.sweepspec.SweepSpec` document
+* ``serve``                     — the simulation service
+  (:mod:`repro.serve`): experiments and sweeps over HTTP, answered
+  from a content-addressed result cache when the identical request
+  has already been simulated; ``--dry-run SPEC`` validates a spec
+  file and exits
 
 Grid subcommands take ``--tier {sim,auto,fast}`` (default ``sim`` —
 bit-identical to every release before the surrogate existed) and
@@ -66,16 +73,9 @@ from repro.resilience import (
     journal_status,
     resumable_signals,
 )
-from repro.silicon.variation import CHIP1, CHIP2, CHIP3, THERMAL_CHIP
+from repro.silicon.variation import PERSONAS
 from repro.util.charts import line_chart
 from repro.util.io import atomic_write_text
-
-PERSONAS = {
-    "chip1": CHIP1,
-    "chip2": CHIP2,
-    "chip3": CHIP3,
-    "thermal": THERMAL_CHIP,
-}
 
 
 def _emit(text: str, out: str | None) -> None:
@@ -165,12 +165,9 @@ def _interrupted(args: argparse.Namespace) -> int:
 
 def cmd_list(args: argparse.Namespace) -> int:
     if args.json:
-        print(
-            json.dumps(
-                [spec.metadata() for spec in EXPERIMENTS.values()],
-                indent=2,
-            )
-        )
+        from repro.experiments.registry import experiments_document
+
+        print(json.dumps(experiments_document(), indent=2))
         return 0
     for eid, spec in EXPERIMENTS.items():
         flags = []
@@ -314,13 +311,11 @@ def cmd_status(args: argparse.Namespace) -> int:
         eid: journal_status(root / eid) for eid in experiment_ids
     }
     if args.json:
+        from repro.serve.status import status_document
+
         print(
             json.dumps(
-                {
-                    eid: status.to_dict()
-                    for eid, status in statuses.items()
-                },
-                indent=2,
+                status_document(root, experiment_ids), indent=2
             )
         )
         return 0
@@ -411,80 +406,89 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Dense V/f grid over one named (calibratable) workload.
 
+    The grid is a :class:`~repro.sweepspec.SweepSpec` — built from the
+    CLI axis flags, or loaded whole from ``--spec FILE`` — and runs
+    through the same execution path the ``repro serve`` daemon uses,
+    so a spec produces identical requests (and therefore checkpoint
+    and cache hits) no matter which surface submits it.
+
     This is the surrogate's home turf: on a memory-touching workload
     every distinct clock is its own timing class, so batching cannot
     coalesce the grid and ``--tier sim`` pays one cycle-level
     simulation per frequency. ``--tier auto`` serves every
     in-tolerance point from the calibrated profile instead.
     """
-    from dataclasses import asdict
+    from repro.sweepspec import (
+        SpecError,
+        SweepSpec,
+        load_spec,
+        run_sweepspec,
+        sweep_document,
+    )
 
-    from repro.experiments.sweep import SweepPoint, sweep
-    from repro.surrogate import CALIBRATION_WORKLOADS
-
-    named = CALIBRATION_WORKLOADS[args.workload]
-    workload, warmup, window = named.build(args.quick)
-    tiles = list(workload)
-
-    def axis(lo: float, hi: float, count: int) -> list[float]:
-        if count < 2:
-            return [lo]
-        return [
-            lo + i * (hi - lo) / (count - 1) for i in range(count)
-        ]
-
-    persona = PERSONAS[args.persona]
-    points = [
-        SweepPoint(persona=persona, vdd=v, freq_hz=f)
-        for v in axis(args.vdd_min, args.vdd_max, args.vdd_points)
-        for f in axis(
-            args.freq_min * 1e6, args.freq_max * 1e6, args.freq_points
-        )
-    ]
+    try:
+        if args.spec is not None:
+            if args.workload is not None:
+                print(
+                    "give either a workload or --spec FILE, not both",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = load_spec(args.spec)
+            if args.quick:
+                spec = SweepSpec.from_dict(
+                    {**spec.to_dict(), "quick": True}
+                )
+        elif args.workload is None:
+            print(
+                "a workload (or --spec FILE) is required",
+                file=sys.stderr,
+            )
+            return 2
+        else:
+            spec = SweepSpec.from_ranges(
+                args.workload,
+                persona=args.persona,
+                vdd_min=args.vdd_min,
+                vdd_max=args.vdd_max,
+                vdd_points=args.vdd_points,
+                freq_min_mhz=args.freq_min,
+                freq_max_mhz=args.freq_max,
+                freq_points=args.freq_points,
+                quick=args.quick,
+            )
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # Reuse the run-flag plumbing (journaling, retries, tier) with the
     # sweep's own checkpoint id so `sweep --resume` works like `run`.
-    args.experiment = f"sweep-{args.workload}"
+    args.experiment = spec.experiment_id
+    args.quick = spec.quick
     ctx = _context_from_args(args)
     start = time.perf_counter()
     try:
         with resumable_signals():
-            result = sweep(
-                points,
-                lambda tile: workload[tile],
-                tiles=tiles,
-                warmup_cycles=warmup,
-                window_cycles=window,
-                jobs=ctx.jobs,
-                tracer=ctx.tracer,
-                supervision=ctx.supervision(args.experiment),
-                batch=ctx.batch,
-                fidelity=ctx.fidelity_policy(),
-            )
+            result = run_sweepspec(spec, ctx)
     except GridInterrupted:
         return _interrupted(args)
     wall = time.perf_counter() - start
     counters = dict(ctx.trace.resilience)
     meta = dict(ctx.trace.meta)
     if args.json:
-        doc = {
-            "schema_version": 1,
-            "workload": args.workload,
-            "tier": args.tier,
-            "fidelity": args.fidelity,
-            "points": len(points),
-            "wall_s": wall,
-            "surrogate": {
-                "hits": counters.get("surrogate_hits", 0),
-                "fallbacks": counters.get("surrogate_fallbacks", 0),
-                "max_err": meta.get("surrogate_max_err", 0.0),
-            },
-            "records": [asdict(r) for r in result.records],
-        }
+        doc = sweep_document(
+            spec,
+            result,
+            tier=args.tier,
+            fidelity=args.fidelity,
+            wall_s=wall,
+            counters=counters,
+            meta=meta,
+        )
         _emit(json.dumps(doc, indent=2), args.out)
     else:
         _emit(result.render(), args.out)
         print(
-            f"\n[sweep {args.workload}: {len(points)} points, "
+            f"\n[sweep {spec.workload}: {spec.n_points} points, "
             f"{wall:.1f}s]"
         )
     if args.tier != "sim":
@@ -492,6 +496,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             _tier_summary(args.tier, counters, meta), file=sys.stderr
         )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service (or just validate a spec file)."""
+    from repro.sweepspec import SpecError, describe_spec, load_spec
+
+    if args.dry_run is not None:
+        try:
+            spec = load_spec(args.dry_run)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(describe_spec(spec))
+        return 0
+    from repro.serve import SimulationService
+
+    service = SimulationService(
+        host=args.host,
+        port=args.port,
+        cas_dir=args.cas_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        profile_dir=args.profile_dir,
+        workers=args.workers,
+    )
+    return service.run_blocking()
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -805,7 +834,18 @@ def build_parser() -> argparse.ArgumentParser:
         "calibrated in-tolerance points from the surrogate.",
     )
     sweep_.add_argument(
-        "workload", choices=sorted(CALIBRATION_WORKLOADS)
+        "workload",
+        nargs="?",
+        default=None,
+        choices=sorted(CALIBRATION_WORKLOADS),
+    )
+    sweep_.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="load the whole grid from a serialized SweepSpec JSON "
+        "document instead of the axis flags (validate one without "
+        "running via `repro serve --dry-run FILE`)",
     )
     _add_run_flags(sweep_)
     sweep_.add_argument(
@@ -844,6 +884,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the grid records plus surrogate accounting as JSON",
     )
     sweep_.set_defaults(func=cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service daemon with a result cache",
+        description="Serve the experiment runners over HTTP: POST "
+        "/v1/run and /v1/sweep execute (or answer from the "
+        "content-addressed result cache under results/cas/), GET "
+        "/v1/jobs/<id> reports/streams job progress, GET "
+        "/v1/experiments and /v1/status mirror `repro list --json` "
+        "and `repro status --json`. Identical in-flight requests "
+        "coalesce onto one simulation.",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default 8765; 0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--cas-dir",
+        default="results/cas",
+        metavar="DIR",
+        help="content-addressed result store (default: results/cas)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=DEFAULT_CHECKPOINT_DIR,
+        metavar="DIR",
+        help="journal location reported by GET /v1/status "
+        f"(default: {DEFAULT_CHECKPOINT_DIR})",
+    )
+    serve.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="where `repro calibrate` profiles live "
+        "(default: results/surrogate)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="simulation worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--dry-run",
+        default=None,
+        metavar="SPEC",
+        help="validate a SweepSpec file, print its grid summary and "
+        "digest, and exit without starting the server",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

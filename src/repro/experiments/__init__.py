@@ -1,8 +1,8 @@
 """One module per table and figure of the paper's evaluation.
 
 Every module exposes ``run(ctx: RunContext = ...) -> ExperimentResult``
-(the legacy ``run(quick=..., jobs=...)`` keyword style still works but
-emits a ``DeprecationWarning``). ``RunContext.quick`` trades sweep
+(the removed legacy ``run(quick=..., jobs=...)`` keyword style now
+raises a ``TypeError``). ``RunContext.quick`` trades sweep
 density for runtime (used by the test suite — benchmarks run the full
 shapes); ``jobs`` fans per-point simulations across worker processes
 on experiments whose registry entry says ``supports_jobs``. The

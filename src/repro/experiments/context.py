@@ -5,14 +5,13 @@ parallelism, persona override, telemetry sink, output format — instead
 of the historical per-runner keyword grab-bag that forced ``cli.py``
 to sniff signatures with :mod:`inspect`. The
 :func:`experiment_runner` decorator adapts each module's
-``run(ctx, ...)`` implementation to:
-
-* accept the legacy call styles (``run()``, ``run(True)``,
-  ``run(quick=..., jobs=...)``) by building a ``RunContext`` and
-  emitting a :class:`DeprecationWarning`;
-* time the whole run and attach a
-  :class:`~repro.obs.manifest.RunManifest` to the returned
-  :class:`~repro.experiments.result.ExperimentResult`.
+``run(ctx, ...)`` implementation to the public protocol: it accepts a
+:class:`RunContext` (or ``None`` for the defaults), times the whole
+run, and attaches a :class:`~repro.obs.manifest.RunManifest` to the
+returned :class:`~repro.experiments.result.ExperimentResult`. The
+pre-redesign keyword style (``run(quick=..., jobs=...)``, positional
+``run(True)``) went through a deprecation cycle and is now rejected
+with a :class:`TypeError` naming the replacement.
 
 Telemetry is opt-in: the default context carries the disabled
 :data:`~repro.obs.trace.NULL_TRACER`, whose hooks are no-ops, and the
@@ -24,7 +23,6 @@ from __future__ import annotations
 import functools
 import os
 import time
-import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -224,68 +222,40 @@ class RunContext:
         )
 
 
-def _legacy_context(
-    quick: object, jobs: object, persona: object, tracer: object
-) -> RunContext:
-    return RunContext(
-        quick=bool(quick),
-        jobs=int(jobs) if jobs is not None else 1,
-        persona=persona,  # type: ignore[arg-type]
-        tracer=tracer,  # type: ignore[arg-type]
-    )
-
-
 def experiment_runner(
     fn: Callable[..., "ExperimentResult"],
 ) -> Callable[..., "ExperimentResult"]:
     """Adapt ``run(ctx, **extras)`` to the public runner protocol.
 
-    The wrapped callable accepts either a :class:`RunContext` (the
-    one supported call style) or the pre-redesign keyword style, which
-    still works but warns::
+    The wrapped callable accepts one :class:`RunContext` (or ``None``
+    for the defaults)::
 
-        run(RunContext(quick=True, jobs=4))      # current
-        run(quick=True, jobs=4)                  # deprecated shim
-        run(True)                                # deprecated shim
+        run(RunContext(quick=True, jobs=4))
 
     Module-specific extras (``cores=``, ``seed=``, ``benchmark=`` ...)
-    pass through unchanged in both styles.
+    pass through unchanged. The removed legacy style
+    (``run(quick=..., jobs=...)``, positional ``run(True)``) raises a
+    :class:`TypeError` spelling out the replacement.
     """
 
     @functools.wraps(fn)
     def wrapper(
-        ctx: RunContext | bool | None = None,
-        *,
-        quick: bool | None = None,
-        jobs: int | None = None,
-        persona: object = None,
-        tracer: object = None,
+        ctx: RunContext | None = None,
         **extras: object,
     ) -> "ExperimentResult":
-        legacy = (
-            quick is not None
-            or jobs is not None
-            or persona is not None
-            or tracer is not None
-            or isinstance(ctx, bool)
-        )
-        if legacy:
-            if isinstance(ctx, RunContext):
-                raise TypeError(
-                    "pass either a RunContext or legacy keyword "
-                    "arguments, not both"
-                )
-            warnings.warn(
-                f"{fn.__module__}.run(quick=..., jobs=...) is "
-                "deprecated; pass a repro.experiments.RunContext "
-                "instead",
-                DeprecationWarning,
-                stacklevel=2,
+        legacy = {"quick", "jobs", "persona", "tracer"} & set(extras)
+        if legacy or isinstance(ctx, bool):
+            bad = (
+                f"keyword(s) {sorted(legacy)}"
+                if legacy
+                else f"positional {ctx!r}"
             )
-            if isinstance(ctx, bool):  # old positional run(True)
-                quick = ctx if quick is None else quick
-            ctx = _legacy_context(quick, jobs, persona, tracer)
-        elif ctx is None:
+            raise TypeError(
+                f"{fn.__module__}.run() no longer accepts the legacy "
+                f"{bad}; pass a repro.experiments.RunContext instead, "
+                "e.g. run(RunContext(quick=True, jobs=4))"
+            )
+        if ctx is None:
             ctx = RunContext()
         elif not isinstance(ctx, RunContext):
             raise TypeError(

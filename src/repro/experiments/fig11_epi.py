@@ -15,6 +15,7 @@ from repro.experiments.result import ExperimentResult
 from repro.isa.operands import OperandPolicy
 from repro.power.epi import energy_per_instruction, subtract_filler_energy
 from repro.silicon.variation import CHIP2
+from repro.sweepspec import expand_grid
 from repro.system import PitonSystem
 from repro.util.stats import Measurement
 from repro.workloads.epi_tests import (
@@ -115,12 +116,14 @@ def run(ctx: RunContext, cores: int | None = None) -> ExperimentResult:
     # path the generator defers each point's workload build and
     # simulation until its measurement comes due (so ``tests`` is
     # always populated before it is read).
-    grid: list[tuple[str, OperandPolicy]] = []
-    for name, _ in FIGURE11_INSTRUCTIONS:
-        policies = POLICIES if has_operand_sweep(name) else (
-            OperandPolicy.RANDOM,
-        )
-        grid.extend((name, policy) for policy in policies)
+    grid = expand_grid(
+        (name for name, _ in FIGURE11_INSTRUCTIONS),
+        lambda name: (
+            POLICIES
+            if has_operand_sweep(name)
+            else (OperandPolicy.RANDOM,)
+        ),
+    )
     tests: dict[tuple[str, OperandPolicy], object] = {}
 
     def requests():

@@ -13,6 +13,7 @@ from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.power.epf import pj_per_hop_trendline
 from repro.silicon.variation import CHIP3
+from repro.sweepspec import grid_product
 from repro.system import PitonSystem
 from repro.workloads.base import TileProgram
 from repro.workloads.microbench import (
@@ -81,13 +82,15 @@ def run(ctx: RunContext) -> ExperimentResult:
     # simulates each point only as its measurement comes due.
     requests = (
         system.sim_request(
-            build_workload(bench, count, tpc),
+            build_workload(
+                cell["bench"], cell["count"], cell["tpc"]
+            ),
             warmup_cycles=warmup,
             window_cycles=window,
         )
-        for bench in BENCHMARKS
-        for tpc in (1, 2)
-        for count in core_counts
+        for cell in grid_product(
+            bench=BENCHMARKS, tpc=(1, 2), count=core_counts
+        )
     )
     outcomes = parallel_simulate(
         requests,

@@ -17,6 +17,7 @@ from repro.experiments.parallel import parallel_simulate
 from repro.experiments.context import RunContext, experiment_runner
 from repro.experiments.result import ExperimentResult
 from repro.silicon.variation import CHIP3
+from repro.sweepspec import grid_product
 from repro.system import PitonSystem
 from repro.workloads.base import TileProgram
 from repro.workloads.microbench import (
@@ -133,11 +134,16 @@ def run(ctx: RunContext) -> ExperimentResult:
     # The (bench, threads, tpc) grid in original iteration order; the
     # finite simulations fan out, measurements replay serially below.
     grid = [
-        (bench, threads, tpc)
-        for bench in BENCHMARKS
-        for threads in thread_counts
-        for tpc in (1, 2)
-        if not (threads % tpc or threads // tpc > 25)
+        (cell["bench"], cell["threads"], cell["tpc"])
+        for cell in grid_product(
+            where=lambda c: not (
+                c["threads"] % c["tpc"]
+                or c["threads"] // c["tpc"] > 25
+            ),
+            bench=BENCHMARKS,
+            threads=thread_counts,
+            tpc=(1, 2),
+        )
     ]
     requests = (
         _point_request(system, bench, threads, tpc)

@@ -217,6 +217,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
+def experiments_document() -> list[dict[str, object]]:
+    """The registry metadata document, in paper order — the one
+    serializer behind ``repro list --json`` and the daemon's
+    ``GET /v1/experiments``."""
+    return [spec.metadata() for spec in EXPERIMENTS.values()]
+
+
 def get_spec(experiment_id: str) -> ExperimentSpec:
     """Return one experiment's registry entry."""
     try:

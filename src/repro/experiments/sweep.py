@@ -90,6 +90,47 @@ class SweepResult:
 WorkloadFactory = Callable[[int], TileProgram]
 
 
+def build_requests(
+    points: Iterable[SweepPoint],
+    workload_factory: WorkloadFactory,
+    tiles: Sequence[int] = (0,),
+    warmup_cycles: int = 2_000,
+    window_cycles: int = 4_000,
+    seed: int = 0,
+    tracer: "Tracer | None" = None,
+):
+    """Build every grid point's bench and simulation request, in order.
+
+    This is the one request-construction path shared by :func:`sweep`,
+    :meth:`repro.sweepspec.SweepSpec.requests`, and the ``repro
+    serve`` daemon — they must all produce byte-identical requests so
+    checkpoint journals and the content-addressed result cache key the
+    same point the same way everywhere.
+
+    Returns ``(systems, requests)``: ``systems[i]`` is
+    ``(point, resolved_freq_hz, PitonSystem)`` for the measurement
+    replay, ``requests[i]`` the matching picklable
+    :class:`~repro.system.SimRequest`.
+    """
+    systems: list[tuple[SweepPoint, float, PitonSystem]] = []
+    requests = []
+    for point in points:
+        freq = point.resolved_freq_hz()
+        system = PitonSystem.default(
+            persona=point.persona, seed=seed, tracer=tracer
+        )
+        system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
+        systems.append((point, freq, system))
+        requests.append(
+            system.sim_request(
+                {tile: workload_factory(tile) for tile in tiles},
+                warmup_cycles=warmup_cycles,
+                window_cycles=window_cycles,
+            )
+        )
+    return systems, requests
+
+
 def sweep(
     points: Iterable[SweepPoint],
     workload_factory: WorkloadFactory,
@@ -135,22 +176,15 @@ def sweep(
     from repro.experiments.parallel import parallel_simulate
 
     result = SweepResult()
-    systems: list[tuple[SweepPoint, float, PitonSystem]] = []
-    requests = []
-    for point in points:
-        freq = point.resolved_freq_hz()
-        system = PitonSystem.default(
-            persona=point.persona, seed=seed, tracer=tracer
-        )
-        system.set_operating_point(point.vdd, point.vdd + 0.05, freq)
-        systems.append((point, freq, system))
-        requests.append(
-            system.sim_request(
-                {tile: workload_factory(tile) for tile in tiles},
-                warmup_cycles=warmup_cycles,
-                window_cycles=window_cycles,
-            )
-        )
+    systems, requests = build_requests(
+        points,
+        workload_factory,
+        tiles=tiles,
+        warmup_cycles=warmup_cycles,
+        window_cycles=window_cycles,
+        seed=seed,
+        tracer=tracer,
+    )
     outcomes = parallel_simulate(
         requests,
         jobs=jobs,

@@ -22,14 +22,18 @@ Design constraints (enforced by tests):
 
 from repro.obs.counters import component_of, component_rates
 from repro.obs.manifest import (
+    JOB_MANIFEST_SCHEMA_VERSION,
     MANIFEST_SCHEMA_VERSION,
+    JobManifest,
     RunManifest,
     build_manifest,
 )
 from repro.obs.trace import NULL_TRACER, SpanStats, Tracer
 
 __all__ = [
+    "JOB_MANIFEST_SCHEMA_VERSION",
     "MANIFEST_SCHEMA_VERSION",
+    "JobManifest",
     "NULL_TRACER",
     "RunManifest",
     "SpanStats",

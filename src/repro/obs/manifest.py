@@ -135,6 +135,63 @@ class RunManifest:
         return "\n".join(lines)
 
 
+JOB_MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class JobManifest:
+    """Provenance record for one ``repro serve`` job.
+
+    The service-side sibling of :class:`RunManifest`: where a run
+    manifest says how a simulation was executed, a job manifest says
+    how a *request* was served — from the content-addressed cache
+    (``cas_hits``), by coalescing onto an identical in-flight request
+    (``inflight_coalesced``), or by actually simulating
+    (``cas_misses``). Served by ``GET /v1/jobs/<id>`` and embedded in
+    ``GET /v1/status``.
+    """
+
+    job_id: str
+    kind: str  # "run" | "sweep"
+    state: str  # "queued" | "running" | "done" | "failed"
+    digest: str
+    experiment_id: str | None = None
+    created_at: float = 0.0
+    finished_at: float | None = None
+    wall_s: float = 0.0
+    #: Cache/coalescing accounting: ``cas_hits``, ``cas_misses``,
+    #: ``inflight_coalesced``, plus any resilience counters the
+    #: underlying run produced (``points_simulated``, ...).
+    counters: dict[str, int] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": JOB_MANIFEST_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "digest": self.digest,
+            "experiment_id": self.experiment_id,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "wall_s": self.wall_s,
+            "counters": dict(self.counters),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobManifest":
+        version = data.get("schema_version")
+        if version != JOB_MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported job manifest schema_version {version!r} "
+                f"(supported: {JOB_MANIFEST_SCHEMA_VERSION})"
+            )
+        fields = {k: v for k, v in data.items() if k != "schema_version"}
+        return cls(**fields)  # type: ignore[arg-type]
+
+
 def build_manifest(
     experiment_id: str,
     ctx: "RunContext",

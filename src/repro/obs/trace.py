@@ -99,6 +99,29 @@ class Tracer:
         #: supervised execution layer via :meth:`count`; surfaced on
         #: the run manifest. Empty when nothing was supervised.
         self.resilience: dict[str, int] = {}
+        #: Live-event subscribers (see :meth:`subscribe`). Empty for
+        #: every historical caller, and the publish hooks are guarded
+        #: on truthiness, so unsubscribed tracers pay one falsy check.
+        self._subscribers: list = []
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(self, callback) -> None:
+        """Stream telemetry events to ``callback(event_dict)`` live.
+
+        Each recorded point, counter bump, and note is published as a
+        small JSON-able dict the moment it happens — this is what the
+        ``repro serve`` daemon streams to ``GET /v1/jobs/<id>`` as
+        progress lines. Subscriber exceptions are swallowed: telemetry
+        must never be able to fail a run.
+        """
+        self._subscribers.append(callback)
+
+    def _publish(self, event: dict) -> None:
+        for callback in self._subscribers:
+            try:
+                callback(event)
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     # ------------------------------------------------------------- recording
     def span(self, name: str):
@@ -119,14 +142,33 @@ class Tracer:
     def note(self, key: str, value: object) -> None:
         """Record one bench fact (last write wins)."""
         self.meta[key] = value
+        if self._subscribers:
+            self._publish({"event": "note", "key": key, "value": value})
 
     def point(self, sim_wall_s: float) -> None:
         """Record one grid point's simulation wall time, in grid order."""
         self.point_wall_s.append(sim_wall_s)
+        if self._subscribers:
+            self._publish(
+                {
+                    "event": "point",
+                    "index": len(self.point_wall_s) - 1,
+                    "sim_wall_s": sim_wall_s,
+                }
+            )
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump one resilience counter (retry, timeout, resume hit...)."""
         self.resilience[name] = self.resilience.get(name, 0) + n
+        if self._subscribers:
+            self._publish(
+                {
+                    "event": "counter",
+                    "name": name,
+                    "delta": n,
+                    "value": self.resilience[name],
+                }
+            )
 
     def gauge_max(self, key: str, value: float) -> None:
         """Record the running maximum of a float gauge into ``meta``.
@@ -156,6 +198,9 @@ class _NullTracer(Tracer):
     """Disabled tracer: every hook is a no-op, every read is empty."""
 
     enabled = False
+
+    def subscribe(self, callback) -> None:
+        pass
 
     def span(self, name: str):
         return _NULL_SPAN

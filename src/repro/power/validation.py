@@ -63,7 +63,7 @@ def validate_anchors(quick: bool = True) -> list[AnchorCheck]:
     """Recompute the calibration anchors. ``quick`` uses fewer cores
     for the simulation-backed checks (tolerances widened accordingly).
     """
-    from repro.experiments import fig11_epi, table7_memory
+    from repro.experiments import RunContext, fig11_epi, table7_memory
     from repro.power.vf_curve import VfCurve
     from repro.silicon.variation import CHIP2, CHIP3
     from repro.system import PitonSystem
@@ -113,7 +113,7 @@ def validate_anchors(quick: bool = True) -> list[AnchorCheck]:
     )
 
     cores = 4 if quick else 25
-    epi = fig11_epi.run(quick=True, cores=cores)
+    epi = fig11_epi.run(RunContext(quick=True), cores=cores)
     rows = epi.row_dict()
     checks.append(
         AnchorCheck(
@@ -134,7 +134,7 @@ def validate_anchors(quick: bool = True) -> list[AnchorCheck]:
         )
     )
 
-    table7 = table7_memory.run(quick=True, cores=cores)
+    table7 = table7_memory.run(RunContext(quick=True), cores=cores)
     t7 = table7.row_dict()
     checks.append(
         AnchorCheck(

@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its cache.
+
+The package splits along the daemon's three concerns:
+
+* :mod:`repro.serve.cas`    — the content-addressed result store and
+  the :class:`~repro.serve.cas.CasJournal` adapter that lets the
+  existing grid executors read/write it per point;
+* :mod:`repro.serve.jobs`   — job manifests and live telemetry-event
+  capture for ``GET /v1/jobs/<id>``;
+* :mod:`repro.serve.http`   — the minimal stdlib HTTP/1.1 layer;
+* :mod:`repro.serve.daemon` — routing, tier-aware cache arbitration,
+  in-flight request coalescing, and execution;
+* :mod:`repro.serve.status` — the status document shared with
+  ``repro status --json``.
+"""
+
+from repro.serve.cas import (
+    DEFAULT_CAS_DIR,
+    CacheEntry,
+    CasJournal,
+    ResultCache,
+)
+from repro.serve.daemon import SimulationService
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.status import STATUS_SCHEMA_VERSION, status_document
+
+__all__ = [
+    "DEFAULT_CAS_DIR",
+    "CacheEntry",
+    "CasJournal",
+    "Job",
+    "JobRegistry",
+    "ResultCache",
+    "STATUS_SCHEMA_VERSION",
+    "SimulationService",
+    "status_document",
+]

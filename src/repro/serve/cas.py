@@ -1,0 +1,233 @@
+"""Content-addressed result store: simulate once, serve forever.
+
+The store under ``results/cas/`` memoizes completed work keyed by the
+sha256 digest of the request that produced it — the same digest the
+checkpoint journal already proves stable across processes (see
+:func:`repro.resilience.request_digest`). Two namespaces:
+
+* ``point`` — pickled :class:`~repro.system.SimOutcome` per grid
+  point, written/served through :class:`CasJournal` (which duck-types
+  :class:`~repro.resilience.CheckpointJournal`, so the existing grid
+  executors absorb and serve cache entries without learning anything
+  new);
+* ``run`` — complete ``ExperimentResult`` JSON documents for
+  ``POST /v1/run``, returned byte-for-byte on a warm hit.
+
+Entries are framed (magic, CRC32, payload length, fidelity tier,
+error bound) and written atomically (same-directory temp + fsync +
+rename), so a torn write can never serve a half-entry: a frame that
+fails verification is treated as absent and the point simply
+re-simulates — and overwrites the bad entry with a good one.
+
+Cache policy is tier-aware, mirroring
+:func:`repro.surrogate.dispatch.accepts_cached_outcome`: a ``sim``
+entry (cycle-level) satisfies any requested tier; a ``fast`` entry
+(surrogate-served) satisfies ``fast`` always, ``auto`` only within
+the requested tolerance, and ``sim`` never.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import SimOutcome
+
+#: Bump when the entry framing changes; unknown frames are misses.
+_MAGIC = b"RCAS1\0"
+#: crc32(payload), len(payload), tier code, tier error bound.
+_HEADER = struct.Struct(">IQBd")
+
+_TIER_TO_CODE = {"sim": 0, "fast": 1}
+_CODE_TO_TIER = {v: k for k, v in _TIER_TO_CODE.items()}
+
+#: Where ``repro serve`` keeps the store unless told otherwise.
+DEFAULT_CAS_DIR = "results/cas"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One verified store entry: payload plus its fidelity provenance."""
+
+    payload: bytes
+    tier: str
+    tier_err: float
+
+
+def _normalize_key(key: bytes | str) -> str:
+    if isinstance(key, bytes):
+        return key.hex()
+    return key
+
+
+class ResultCache:
+    """The on-disk content-addressed store (crash-safe, append-only)."""
+
+    def __init__(self, root: Path | str = DEFAULT_CAS_DIR):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _entry_path(self, namespace: str, key: bytes | str) -> Path:
+        key = _normalize_key(key)
+        # Two-character fan-out keeps directories small under dense
+        # sweeps (65k points land ~256 per directory).
+        return self.root / namespace / key[:2] / f"{key}.cas"
+
+    # ----------------------------------------------------------------- write
+    def put(
+        self,
+        namespace: str,
+        key: bytes | str,
+        payload: bytes,
+        tier: str = "sim",
+        tier_err: float = 0.0,
+    ) -> Path:
+        """Store one entry atomically (temp + fsync + rename)."""
+        blob = (
+            _MAGIC
+            + _HEADER.pack(
+                zlib.crc32(payload),
+                len(payload),
+                _TIER_TO_CODE.get(tier, 1),
+                tier_err,
+            )
+            + payload
+        )
+        path = self._entry_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        return path
+
+    # ------------------------------------------------------------------ read
+    def get(self, namespace: str, key: bytes | str) -> CacheEntry | None:
+        """The verified entry, or ``None`` (absent *or* corrupt)."""
+        path = self._entry_path(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        head = len(_MAGIC) + _HEADER.size
+        if len(blob) < head or not blob.startswith(_MAGIC):
+            return None
+        crc, length, tier_code, tier_err = _HEADER.unpack(
+            blob[len(_MAGIC):head]
+        )
+        payload = blob[head:]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            return None
+        tier = _CODE_TO_TIER.get(tier_code)
+        if tier is None:
+            return None
+        return CacheEntry(payload=payload, tier=tier, tier_err=tier_err)
+
+    @staticmethod
+    def satisfies(
+        entry: CacheEntry, tier: str, tolerance: float
+    ) -> bool:
+        """Tier-aware acceptance (mirrors ``accepts_cached_outcome``):
+        cycle-level entries satisfy every tier; surrogate entries never
+        satisfy ``sim`` and satisfy ``auto`` only within tolerance."""
+        if entry.tier == "sim":
+            return True
+        if tier == "fast":
+            return True
+        if tier == "auto":
+            return entry.tier_err <= tolerance
+        return False
+
+    def lookup(
+        self,
+        namespace: str,
+        key: bytes | str,
+        tier: str = "sim",
+        tolerance: float = 0.05,
+    ) -> CacheEntry | None:
+        """:meth:`get` plus the tier gate in one call."""
+        entry = self.get(namespace, key)
+        if entry is None or not self.satisfies(entry, tier, tolerance):
+            return None
+        return entry
+
+    # ----------------------------------------------------------- maintenance
+    def entry_count(self, namespace: str | None = None) -> int:
+        root = self.root / namespace if namespace else self.root
+        if not root.is_dir():
+            return 0
+        return sum(1 for _ in root.rglob("*.cas"))
+
+
+@dataclass
+class CasJournal:
+    """The CAS viewed as a checkpoint journal.
+
+    Duck-types the :class:`~repro.resilience.CheckpointJournal`
+    surface the grid executors consume (``get`` / ``append`` /
+    ``write_meta`` / ``complete``), with two deliberate differences:
+    points are keyed *purely* by request digest (the grid index is
+    ignored — identical points hit from any grid, any shape), and
+    ``complete()`` is a no-op (the store is the service's memory, not
+    a crash artifact to be retired).
+
+    Tier arbitration happens here, on the frame header, before any
+    unpickle: a surrogate-tier entry that the requested tier cannot
+    accept is a miss (and will be overwritten by the cycle-level
+    outcome the executor then produces). ``cas_hits`` / ``cas_misses``
+    land on the tracer's counters, which is how they reach job
+    manifests and sweep documents.
+    """
+
+    cache: ResultCache
+    tier: str = "sim"
+    tolerance: float = 0.05
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+    def get(self, index: int, digest: bytes) -> "SimOutcome | None":
+        entry = self.cache.lookup(
+            "point", digest, tier=self.tier, tolerance=self.tolerance
+        )
+        if entry is None:
+            self.tracer.count("cas_misses")
+            return None
+        try:
+            outcome = pickle.loads(entry.payload)
+        except Exception:
+            self.tracer.count("cas_misses")
+            return None
+        self.tracer.count("cas_hits")
+        return outcome
+
+    def append(self, index: int, digest: bytes, outcome: object) -> None:
+        payload = pickle.dumps(
+            outcome, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self.cache.put(
+            "point",
+            digest,
+            payload,
+            tier=getattr(outcome, "tier", "sim"),
+            tier_err=getattr(outcome, "tier_err", 0.0),
+        )
+
+    def write_meta(self, **_kwargs: object) -> None:
+        pass
+
+    def complete(self) -> None:
+        pass

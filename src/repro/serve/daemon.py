@@ -1,0 +1,629 @@
+"""The ``repro serve`` daemon: simulation-as-a-service.
+
+One asyncio process turns the repository's experiment runners into a
+service with a memory:
+
+* ``POST /v1/run``            — one registry experiment (by id, plus
+  RunContext overrides: quick/persona/tier/fidelity/jobs/batch/checks);
+  the response body is byte-identical to ``repro run --json``.
+* ``POST /v1/sweep``          — a :class:`~repro.sweepspec.SweepSpec`
+  document; the response is the same document ``repro sweep --json``
+  emits (one shared serializer).
+* ``GET /v1/jobs/<id>``       — job manifest + recorded telemetry
+  events; ``?stream=1`` streams events live as chunked JSON lines.
+* ``GET /v1/experiments``     — registry metadata (``repro list
+  --json``'s document).
+* ``GET /v1/status``          — the shared status document (``repro
+  status --json``'s document), plus this daemon's job manifests.
+
+Completed work is memoized in the content-addressed store under
+``results/cas/`` (:mod:`repro.serve.cas`): whole response documents
+keyed by the request's canonical digest, and — for sweeps — every
+grid point individually via :class:`~repro.serve.cas.CasJournal`, so
+a new sweep that overlaps an old one only simulates the novel points.
+Identical in-flight requests coalesce onto one future: N concurrent
+identical POSTs trigger exactly one simulation and N byte-identical
+responses. The ``X-Repro-Cache`` response header says which path
+served each request (``miss`` | ``hit`` | ``coalesced``), and
+``X-Repro-Job`` names the job.
+
+Simulations are CPU-bound, so they run on a small thread pool while
+the event loop keeps serving status/stream requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS, RunContext, get_spec
+from repro.experiments.context import DEFAULT_CHECKPOINT_DIR
+from repro.obs import Tracer
+from repro.serve.cas import DEFAULT_CAS_DIR, CasJournal, ResultCache
+from repro.serve.http import (
+    LAST_CHUNK,
+    HttpRequest,
+    ProtocolError,
+    chunk,
+    error_response,
+    json_response,
+    read_request,
+    response,
+    response_head,
+)
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.status import status_document
+from repro.sweepspec import (
+    SpecError,
+    SweepSpec,
+    run_sweepspec,
+    sweep_document,
+)
+
+_RUN_FIELDS = {
+    "experiment",
+    "quick",
+    "persona",
+    "tier",
+    "fidelity",
+    "jobs",
+    "batch",
+    "checks",
+}
+
+
+class RequestError(Exception):
+    """A well-formed HTTP request asking for something invalid."""
+
+    def __init__(self, message: str, **details: object):
+        self.details = details
+        super().__init__(message)
+
+
+def _canonical_digest(document: dict) -> str:
+    """sha256 over canonical JSON: the service's request identity."""
+    blob = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _parse_run_body(data: object) -> dict:
+    """Validate a ``POST /v1/run`` body, field by field."""
+    from repro.silicon.variation import PERSONAS
+
+    if not isinstance(data, dict):
+        raise RequestError(
+            "request body must be a JSON object",
+            got=type(data).__name__,
+        )
+    unknown = sorted(set(data) - _RUN_FIELDS)
+    if unknown:
+        raise RequestError(
+            f"unknown field {unknown[0]!r}",
+            allowed=sorted(_RUN_FIELDS),
+        )
+    experiment = data.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise RequestError(
+            "field 'experiment' is required",
+            known=sorted(EXPERIMENTS),
+        )
+    if experiment not in EXPERIMENTS:
+        raise RequestError(
+            f"unknown experiment {experiment!r}",
+            known=sorted(EXPERIMENTS),
+        )
+    persona = data.get("persona")
+    if persona is not None and persona not in PERSONAS:
+        raise RequestError(
+            f"unknown persona {persona!r}",
+            known=sorted(PERSONAS),
+        )
+    for name in ("quick", "batch", "checks"):
+        if name in data and not isinstance(data[name], bool):
+            raise RequestError(
+                f"field {name!r} must be true/false",
+                got=data[name],
+            )
+    tier = data.get("tier", "sim")
+    if tier not in ("sim", "auto", "fast"):
+        raise RequestError(
+            f"field 'tier' must be one of sim/auto/fast, got {tier!r}"
+        )
+    fidelity = data.get("fidelity", 0.05)
+    if (
+        isinstance(fidelity, bool)
+        or not isinstance(fidelity, (int, float))
+        or fidelity <= 0
+    ):
+        raise RequestError(
+            f"field 'fidelity' must be a positive number, "
+            f"got {fidelity!r}"
+        )
+    jobs = data.get("jobs", 1)
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 0:
+        raise RequestError(
+            f"field 'jobs' must be a non-negative integer, got {jobs!r}"
+        )
+    return {
+        "experiment": experiment,
+        "quick": bool(data.get("quick", False)),
+        "persona": persona,
+        "tier": tier,
+        "fidelity": float(fidelity),
+        "jobs": jobs,
+        "batch": bool(data.get("batch", True)),
+        "checks": bool(data.get("checks", False)),
+    }
+
+
+class SimulationService:
+    """The daemon: routing, cache arbitration, and job execution."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cas_dir: str | Path = DEFAULT_CAS_DIR,
+        checkpoint_dir: str | Path = DEFAULT_CHECKPOINT_DIR,
+        profile_dir: str | None = None,
+        workers: int = 2,
+    ):
+        self.host = host
+        self.port = port
+        self.cache = ResultCache(cas_dir)
+        self.checkpoint_dir = str(checkpoint_dir)
+        self.profile_dir = profile_dir
+        self.jobs = JobRegistry()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, workers),
+            thread_name_prefix="repro-serve",
+        )
+        #: (digest, tier, tolerance) -> Future[bytes]; loop-thread only.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._stop: asyncio.Event | None = None
+        self.bound_port: int | None = None
+
+    # ------------------------------------------------------------- identities
+    @staticmethod
+    def run_digest(params: dict) -> str:
+        """Identity of a run request: only the fields that shape the
+        simulated result. Tier/fidelity/jobs/batch/checks are excluded
+        — they cannot change a cycle-level document's bytes — and tier
+        arbitration instead happens against the *entry's* recorded
+        tier (a surrogate-served document never satisfies ``sim``)."""
+        return _canonical_digest(
+            {
+                "kind": "run",
+                "experiment": params["experiment"],
+                "quick": params["quick"],
+                "persona": params["persona"],
+            }
+        )
+
+    @staticmethod
+    def sweep_digest(spec: SweepSpec) -> str:
+        return _canonical_digest(
+            {"kind": "sweep", "spec": spec.to_dict(), "seed": 0}
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    async def _serve(self, announce: bool = False,
+                     ready=None) -> None:
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        if announce:
+            print(
+                f"serving on http://{self.host}:{self.bound_port}",
+                flush=True,
+            )
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def run_blocking(self) -> int:
+        """Foreground mode (``repro serve``); SIGINT exits cleanly."""
+        try:
+            asyncio.run(self._serve(announce=True))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    def start_background(self):
+        """Run the daemon on a daemon thread (tests); returns once the
+        socket is bound, with ``self.bound_port`` set."""
+        import threading
+
+        ready = threading.Event()
+        loop_holder: dict[str, asyncio.AbstractEventLoop] = {}
+
+        async def main() -> None:
+            loop_holder["loop"] = asyncio.get_running_loop()
+            await self._serve(ready=ready)
+
+        thread = threading.Thread(
+            target=lambda: asyncio.run(main()),
+            name="repro-serve",
+            daemon=True,
+        )
+        thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        self._bg_loop = loop_holder["loop"]
+        self._bg_thread = thread
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop a background daemon started by :meth:`start_background`."""
+        loop = getattr(self, "_bg_loop", None)
+        if loop is not None and self._stop is not None:
+            loop.call_soon_threadsafe(self._stop.set)
+            self._bg_thread.join(timeout=10)
+
+    # -------------------------------------------------------------- transport
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                writer.write(error_response(exc.status, str(exc)))
+                return
+            if request is None:
+                return
+            if request.query.get("stream") and (
+                request.method == "GET"
+                and request.path.startswith("/v1/jobs/")
+            ):
+                await self._stream_job(request, writer)
+                return
+            writer.write(await self._route(request))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+
+    async def _route(self, request: HttpRequest) -> bytes:
+        path, method = request.path, request.method
+        try:
+            if path == "/v1/experiments":
+                if method != "GET":
+                    return error_response(405, "GET only")
+                from repro.experiments.registry import (
+                    experiments_document,
+                )
+
+                return json_response(200, experiments_document())
+            if path == "/v1/status":
+                if method != "GET":
+                    return error_response(405, "GET only")
+                return json_response(
+                    200,
+                    status_document(
+                        self.checkpoint_dir,
+                        jobs=self.jobs.manifests(),
+                    ),
+                )
+            if path.startswith("/v1/jobs/"):
+                if method != "GET":
+                    return error_response(405, "GET only")
+                return self._job_response(path[len("/v1/jobs/"):])
+            if path == "/v1/run":
+                if method != "POST":
+                    return error_response(405, "POST only")
+                return await self._handle_run(request)
+            if path == "/v1/sweep":
+                if method != "POST":
+                    return error_response(405, "POST only")
+                return await self._handle_sweep(request)
+            return error_response(404, f"no route for {path}")
+        except ProtocolError as exc:
+            return error_response(exc.status, str(exc))
+        except RequestError as exc:
+            return error_response(400, str(exc), **exc.details)
+        except SpecError as exc:
+            return error_response(
+                400,
+                str(exc),
+                spec_field=exc.spec_field,
+                problem=exc.problem,
+                hint=exc.hint,
+            )
+        except Exception as exc:  # noqa: BLE001 - daemon must answer
+            return error_response(
+                500, f"{type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------------------------- jobs
+    def _job_response(self, job_id: str) -> bytes:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return error_response(404, f"unknown job {job_id!r}")
+        events, _ = job.events_since(0)
+        doc = job.snapshot()
+        doc["events"] = events
+        return json_response(200, doc)
+
+    async def _stream_job(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = request.path[len("/v1/jobs/"):]
+        job = self.jobs.get(job_id)
+        if job is None:
+            writer.write(
+                error_response(404, f"unknown job {job_id!r}")
+            )
+            return
+        writer.write(
+            response_head(
+                200,
+                content_type="application/x-ndjson",
+                chunked=True,
+                extra_headers={"X-Repro-Job": job.job_id},
+            )
+        )
+        await writer.drain()
+        cursor = 0
+        while True:
+            events, cursor = job.events_since(cursor)
+            for event in events:
+                writer.write(
+                    chunk(
+                        (json.dumps(event) + "\n").encode("utf-8")
+                    )
+                )
+            if events:
+                await writer.drain()
+            if job.done:
+                break
+            await asyncio.sleep(0.05)
+        final = {"event": "end", "manifest": job.snapshot()}
+        writer.write(
+            chunk((json.dumps(final) + "\n").encode("utf-8"))
+        )
+        writer.write(LAST_CHUNK)
+
+    # --------------------------------------------------------------- /v1/run
+    async def _handle_run(self, request: HttpRequest) -> bytes:
+        params = _parse_run_body(request.json())
+        digest = self.run_digest(params)
+        return await self._serve_cached(
+            kind="run",
+            namespace="run",
+            digest=digest,
+            tier=params["tier"],
+            tolerance=params["fidelity"],
+            experiment_id=params["experiment"],
+            execute=lambda job: self._execute_run(params, job),
+        )
+
+    def _execute_run(self, params: dict, job: Job):
+        """Worker-thread body: run one experiment, JSON-serialized."""
+        from repro.silicon.variation import PERSONAS
+
+        tracer = Tracer()
+        tracer.subscribe(job.record_event)
+        ctx = RunContext(
+            quick=params["quick"],
+            jobs=params["jobs"],
+            persona=(
+                PERSONAS[params["persona"]]
+                if params["persona"]
+                else None
+            ),
+            tracer=tracer,
+            out_format="json",
+            checks=params["checks"],
+            batch=params["batch"],
+            tier=params["tier"],
+            fidelity=params["fidelity"],
+            profile_dir=self.profile_dir,
+        )
+        result = get_spec(params["experiment"]).resolve()(ctx)
+        body = (result.to_json() + "\n").encode("utf-8")
+        return body, dict(tracer.resilience), dict(tracer.meta)
+
+    # ------------------------------------------------------------- /v1/sweep
+    async def _handle_sweep(self, request: HttpRequest) -> bytes:
+        spec = SweepSpec.from_dict(request.json())
+        tier = request.query.get("tier", "sim")
+        if tier not in ("sim", "auto", "fast"):
+            raise RequestError(
+                f"query parameter 'tier' must be sim/auto/fast, "
+                f"got {tier!r}"
+            )
+        try:
+            fidelity = float(request.query.get("fidelity", "0.05"))
+            jobs = int(request.query.get("jobs", "1"))
+        except ValueError as exc:
+            raise RequestError(
+                f"malformed query parameter: {exc}"
+            ) from exc
+        digest = self.sweep_digest(spec)
+        return await self._serve_cached(
+            kind="sweep",
+            namespace="sweep",
+            digest=digest,
+            tier=tier,
+            tolerance=fidelity,
+            experiment_id=spec.experiment_id,
+            execute=lambda job: self._execute_sweep(
+                spec, tier, fidelity, jobs, job
+            ),
+        )
+
+    def _execute_sweep(
+        self,
+        spec: SweepSpec,
+        tier: str,
+        fidelity: float,
+        jobs: int,
+        job: Job,
+    ):
+        """Worker-thread body: run one SweepSpec with per-point CAS."""
+        from repro.resilience import RetryPolicy, Supervision
+
+        tracer = Tracer()
+        tracer.subscribe(job.record_event)
+        ctx = RunContext(
+            quick=spec.quick,
+            jobs=jobs,
+            tracer=tracer,
+            out_format="json",
+            tier=tier,
+            fidelity=fidelity,
+            profile_dir=self.profile_dir,
+        )
+        supervision = Supervision(
+            policy=RetryPolicy(retries=2),
+            journal=CasJournal(
+                self.cache,
+                tier=tier,
+                tolerance=fidelity,
+                tracer=tracer,
+            ),
+            tracer=tracer,
+            experiment_id=spec.experiment_id,
+        )
+        start = time.perf_counter()
+        result = run_sweepspec(spec, ctx, supervision=supervision)
+        doc = sweep_document(
+            spec,
+            result,
+            tier=tier,
+            fidelity=fidelity,
+            wall_s=time.perf_counter() - start,
+            counters=dict(tracer.resilience),
+            meta=dict(tracer.meta),
+        )
+        body = (json.dumps(doc, indent=2) + "\n").encode("utf-8")
+        return body, dict(tracer.resilience), dict(tracer.meta)
+
+    # ------------------------------------------------- cache + coalescing
+    async def _serve_cached(
+        self,
+        kind: str,
+        namespace: str,
+        digest: str,
+        tier: str,
+        tolerance: float,
+        experiment_id: str,
+        execute,
+    ) -> bytes:
+        """The tier-aware memo path every simulating endpoint shares.
+
+        Order of arbitration: completed entry in the store → serve the
+        stored bytes (``hit``); identical request currently executing
+        → await its future (``coalesced``); otherwise simulate, store,
+        and resolve the shared future (``miss``). The inflight table
+        only mutates on the event-loop thread, so no lock.
+        """
+        entry = self.cache.lookup(
+            namespace, digest, tier=tier, tolerance=tolerance
+        )
+        if entry is not None:
+            job = self.jobs.create(kind, digest, experiment_id)
+            job.add_counters({"cas_hits": 1})
+            job.finish()
+            return response(
+                200,
+                entry.payload,
+                extra_headers={
+                    "X-Repro-Cache": "hit",
+                    "X-Repro-Job": job.job_id,
+                },
+            )
+
+        key = (namespace, digest, tier, tolerance)
+        shared = self._inflight.get(key)
+        if shared is not None:
+            job = self.jobs.create(kind, digest, experiment_id)
+            job.add_counters({"inflight_coalesced": 1})
+            try:
+                body = await asyncio.shield(shared)
+            except Exception as exc:  # the one simulation failed
+                job.finish(error=str(exc))
+                return error_response(
+                    500,
+                    f"coalesced request failed: {exc}",
+                    job=job.job_id,
+                )
+            job.finish()
+            return response(
+                200,
+                body,
+                extra_headers={
+                    "X-Repro-Cache": "coalesced",
+                    "X-Repro-Job": job.job_id,
+                },
+            )
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        # A failed simulation with zero coalesced waiters must not
+        # complain about never-retrieved exceptions.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = future
+        job = self.jobs.create(kind, digest, experiment_id)
+        job.mark_running()
+        try:
+            body, counters, meta = await loop.run_in_executor(
+                self._executor, execute, job
+            )
+        except Exception as exc:
+            job.finish(error=f"{type(exc).__name__}: {exc}")
+            future.set_exception(exc)
+            return error_response(
+                500,
+                f"{type(exc).__name__}: {exc}",
+                job=job.job_id,
+            )
+        finally:
+            self._inflight.pop(key, None)
+        entry_tier = (
+            "sim"
+            if tier == "sim" or not counters.get("surrogate_hits")
+            else "fast"
+        )
+        self.cache.put(
+            namespace,
+            digest,
+            body,
+            tier=entry_tier,
+            tier_err=float(meta.get("surrogate_max_err", 0.0) or 0.0),
+        )
+        job.add_counters({"cas_misses": 1})
+        job.add_counters(
+            {k: v for k, v in counters.items() if isinstance(v, int)}
+        )
+        job.finish()
+        future.set_result(body)
+        return response(
+            200,
+            body,
+            extra_headers={
+                "X-Repro-Cache": "miss",
+                "X-Repro-Job": job.job_id,
+            },
+        )

@@ -1,0 +1,116 @@
+"""Job bookkeeping for the simulation service.
+
+Every ``POST /v1/run`` / ``POST /v1/sweep`` becomes a :class:`Job` —
+even a request answered instantly from the content-addressed cache —
+so ``GET /v1/jobs/<id>`` and ``GET /v1/status`` can always say how a
+request was served (simulated, cache hit, or coalesced onto an
+identical in-flight request). Jobs carry a
+:class:`~repro.obs.manifest.JobManifest` plus the live event list
+their run's :class:`~repro.obs.Tracer` published, which is what the
+streaming job endpoint replays as JSON lines.
+
+Execution happens on worker threads while the asyncio loop serves
+HTTP, so every mutation here takes the registry lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator
+
+from repro.obs.manifest import JobManifest
+
+
+class Job:
+    """One service request's lifecycle, thread-safe."""
+
+    def __init__(self, job_id: str, kind: str, digest: str,
+                 experiment_id: str | None = None):
+        self.manifest = JobManifest(
+            job_id=job_id,
+            kind=kind,
+            state="queued",
+            digest=digest,
+            experiment_id=experiment_id,
+            created_at=time.time(),
+        )
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._done = threading.Event()
+
+    @property
+    def job_id(self) -> str:
+        return self.manifest.job_id
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    # -------------------------------------------------------------- lifecycle
+    def record_event(self, event: dict) -> None:
+        """Tracer subscriber hook: append one live telemetry event."""
+        with self._lock:
+            self._events.append(dict(event))
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.manifest.state = "running"
+
+    def add_counters(self, counters: dict[str, int]) -> None:
+        with self._lock:
+            for name, value in counters.items():
+                self.manifest.counters[name] = (
+                    self.manifest.counters.get(name, 0) + int(value)
+                )
+
+    def finish(self, error: str | None = None) -> None:
+        with self._lock:
+            self.manifest.state = "failed" if error else "done"
+            self.manifest.error = error
+            self.manifest.finished_at = time.time()
+            self.manifest.wall_s = (
+                self.manifest.finished_at - self.manifest.created_at
+            )
+        self._done.set()
+
+    # ---------------------------------------------------------------- reading
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return self.manifest.to_dict()
+
+    def events_since(self, start: int) -> tuple[list[dict], int]:
+        """Events ``[start:]`` and the new cursor, for stream polling."""
+        with self._lock:
+            tail = [dict(e) for e in self._events[start:]]
+            return tail, start + len(tail)
+
+
+class JobRegistry:
+    """All jobs this daemon has accepted, newest last."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._counter = 0
+
+    def create(self, kind: str, digest: str,
+               experiment_id: str | None = None) -> Job:
+        with self._lock:
+            self._counter += 1
+            job = Job(
+                f"job-{self._counter:04d}", kind, digest, experiment_id
+            )
+            self._jobs[job.job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def __iter__(self) -> Iterator[Job]:
+        with self._lock:
+            return iter(list(self._jobs.values()))
+
+    def manifests(self) -> list[dict[str, object]]:
+        return [job.snapshot() for job in self]

@@ -1,0 +1,46 @@
+"""The shared status document: one serializer for CLI and daemon.
+
+``repro status --json`` and the daemon's ``GET /v1/status`` emit the
+same schema-versioned document, built here, so a script watching a
+campaign can switch between polling the CLI and polling the service
+without reparsing: per-experiment checkpoint-journal completeness
+(what ``run --resume`` would pick up) plus — when a daemon is
+answering — its job manifests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+STATUS_SCHEMA_VERSION = 1
+
+
+def status_document(
+    checkpoint_dir: str | Path,
+    experiment_ids: Iterable[str] | None = None,
+    jobs: Iterable[Mapping[str, object]] | None = None,
+) -> dict[str, object]:
+    """Checkpoint completeness per experiment, plus daemon jobs.
+
+    ``experiment_ids=None`` covers every registered experiment;
+    ``jobs`` is the daemon's job-manifest dicts (the CLI, having no
+    daemon, reports an empty list).
+    """
+    from repro.experiments import EXPERIMENTS
+    from repro.resilience import journal_status
+
+    root = Path(checkpoint_dir)
+    ids = (
+        list(experiment_ids)
+        if experiment_ids
+        else sorted(EXPERIMENTS)
+    )
+    return {
+        "schema_version": STATUS_SCHEMA_VERSION,
+        "checkpoint_dir": str(root),
+        "experiments": {
+            eid: journal_status(root / eid).to_dict() for eid in ids
+        },
+        "jobs": list(jobs) if jobs is not None else [],
+    }

@@ -60,6 +60,17 @@ CHIP1 = ChipPersona("chip1", speed=1.05, leak=1.30, dyn=1.06)
 # The unnamed die used for the Section IV-J thermal study.
 THERMAL_CHIP = ChipPersona("thermal_chip", speed=0.99, leak=1.05, dyn=0.99)
 
+#: The addressable personas, by the names the CLI/service/SweepSpec
+#: accept (``--persona``, a spec's ``personas`` list, a ``POST
+#: /v1/run`` body). One table, so every surface agrees on what a
+#: persona name means.
+PERSONAS: dict[str, ChipPersona] = {
+    "chip1": CHIP1,
+    "chip2": CHIP2,
+    "chip3": CHIP3,
+    "thermal": THERMAL_CHIP,
+}
+
 #: Correlation between speed and log-leakage across die: faster silicon
 #: (lower Vth) leaks more.
 SPEED_LEAK_CORRELATION = 0.8

@@ -23,15 +23,12 @@ def test_registry_rejects_unknown():
         get_experiment("fig99")
 
 
-def test_legacy_kwarg_style_still_works():
-    """Pre-RunContext call style keeps working through the shim and
-    produces exactly the same rows."""
+def test_legacy_kwarg_style_rejected():
+    """The pre-RunContext call style completed its deprecation cycle:
+    it now raises a TypeError that names the replacement."""
     runner = get_experiment("fig8")
-    with pytest.warns(DeprecationWarning):
-        legacy = runner(quick=True)
-    modern = runner(RunContext(quick=True))
-    assert legacy.rows == modern.rows
-    assert legacy.series == modern.series
+    with pytest.raises(TypeError, match="RunContext"):
+        runner(quick=True)
 
 
 class TestTable4Shape:

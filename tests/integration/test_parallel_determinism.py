@@ -10,7 +10,7 @@ exactly — same event ledgers, same rendered tables.
 
 from __future__ import annotations
 
-from repro.experiments import fig13_scaling
+from repro.experiments import RunContext, fig13_scaling
 from repro.experiments.parallel import parallel_simulate
 from repro.silicon.variation import CHIP3
 from repro.system import PitonSystem
@@ -48,7 +48,7 @@ def test_pool_ledgers_identical_to_serial():
 
 
 def test_fig13_quick_table_identical_serial_vs_jobs4():
-    serial = fig13_scaling.run(quick=True)
-    pooled = fig13_scaling.run(quick=True, jobs=4)
+    serial = fig13_scaling.run(RunContext(quick=True))
+    pooled = fig13_scaling.run(RunContext(quick=True, jobs=4))
     assert serial.render() == pooled.render()
     assert serial.series == pooled.series

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import RunContext
 from repro.experiments import fig11_epi, fig13_scaling, fig14_mt_mc
 from repro.experiments import table7_memory
 
@@ -18,22 +19,22 @@ pytestmark = pytest.mark.slow
 
 @pytest.fixture(scope="module")
 def fig11():
-    return fig11_epi.run(quick=True)
+    return fig11_epi.run(RunContext(quick=True))
 
 
 @pytest.fixture(scope="module")
 def table7():
-    return table7_memory.run(quick=True)
+    return table7_memory.run(RunContext(quick=True))
 
 
 @pytest.fixture(scope="module")
 def fig13():
-    return fig13_scaling.run(quick=True)
+    return fig13_scaling.run(RunContext(quick=True))
 
 
 @pytest.fixture(scope="module")
 def fig14():
-    return fig14_mt_mc.run(quick=True)
+    return fig14_mt_mc.run(RunContext(quick=True))
 
 
 class TestFig11Shapes:

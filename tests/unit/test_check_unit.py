@@ -1,5 +1,5 @@
 """Unit tests for the repro.check subsystem, the result-schema guard,
-and the deprecated legacy runner call styles."""
+and the rejection of the removed legacy runner call styles."""
 
 from __future__ import annotations
 
@@ -112,35 +112,22 @@ class TestResultSchemaGuard:
             ExperimentResult.from_json(json.dumps(doc))
 
 
-# --------------------------------------------------------- deprecated shim
-def _strip(result: ExperimentResult) -> dict[str, object]:
-    doc = result.to_dict()
-    doc.pop("manifest")
-    return doc
-
-
-class TestLegacyRunnerShim:
-    """``run(True)`` / ``run(quick=...)`` must warn but behave exactly
-    like the RunContext path."""
+# ------------------------------------------------------ removed legacy shim
+class TestLegacyRunnerStyleRemoved:
+    """The pre-RunContext call styles (deprecated through PR 3's shim)
+    are gone: each one raises a TypeError naming the replacement."""
 
     @pytest.fixture(scope="class")
     def runner(self):
         return EXPERIMENTS["table4"].resolve()
 
-    @pytest.fixture(scope="class")
-    def modern(self, runner):
-        return _strip(runner(RunContext(quick=True)))
+    def test_positional_bool_style_rejected(self, runner):
+        with pytest.raises(TypeError, match="RunContext"):
+            runner(True)
 
-    def test_positional_bool_style(self, runner, modern):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = runner(True)
-        assert _strip(legacy) == modern
-        assert legacy.manifest.quick is True
-
-    def test_keyword_style(self, runner, modern):
-        with pytest.warns(DeprecationWarning, match="RunContext"):
-            legacy = runner(quick=True, jobs=1)
-        assert _strip(legacy) == modern
+    def test_keyword_style_rejected_names_offenders(self, runner):
+        with pytest.raises(TypeError, match="jobs.*quick|quick.*jobs"):
+            runner(quick=True, jobs=1)
 
     def test_modern_style_does_not_warn(self, runner):
         import warnings
@@ -150,7 +137,7 @@ class TestLegacyRunnerShim:
             runner(RunContext(quick=True))
 
     def test_mixing_context_and_legacy_kwargs_rejected(self, runner):
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="RunContext"):
             runner(RunContext(quick=True), quick=True)
 
     def test_non_context_positional_rejected(self, runner):

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import time
-import warnings
 
 import pytest
 
@@ -236,20 +235,13 @@ class TestExperimentRunnerDecorator:
         assert result.manifest is not None
         assert result.manifest.points == 0
 
-    def test_legacy_kwargs_warn_and_agree(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = _demo_runner(quick=True)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        modern = _demo_runner(RunContext(quick=True))
-        assert legacy.rows == modern.rows
+    def test_legacy_kwargs_rejected_with_hint(self):
+        with pytest.raises(TypeError, match="RunContext"):
+            _demo_runner(quick=True)
 
-    def test_legacy_positional_bool(self):
-        with pytest.warns(DeprecationWarning):
-            result = _demo_runner(True)
-        assert ("quick", True) in result.rows
+    def test_legacy_positional_bool_rejected(self):
+        with pytest.raises(TypeError, match="RunContext"):
+            _demo_runner(True)
 
     def test_mixing_styles_rejected(self):
         with pytest.raises(TypeError):

@@ -1,0 +1,196 @@
+"""Unit tests for the content-addressed result store (repro.serve.cas):
+framing, atomicity, corruption handling, the tier-aware acceptance
+matrix, and the CasJournal adapter the grid executors consume."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import Tracer
+from repro.serve.cas import CacheEntry, CasJournal, ResultCache
+
+
+@dataclass
+class FakeOutcome:
+    """Picklable stand-in for SimOutcome (module level on purpose)."""
+
+    value: int = 0
+    tier: str = "sim"
+    tier_err: float = 0.0
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cas")
+
+
+DIGEST = b"\xab" * 32
+
+
+class TestPutGet:
+    def test_round_trip(self, cache):
+        cache.put("run", "aa" * 32, b"payload bytes")
+        entry = cache.get("run", "aa" * 32)
+        assert entry == CacheEntry(
+            payload=b"payload bytes", tier="sim", tier_err=0.0
+        )
+
+    def test_bytes_and_hex_keys_equivalent(self, cache):
+        cache.put("point", DIGEST, b"x")
+        assert cache.get("point", DIGEST.hex()).payload == b"x"
+
+    def test_absent_is_none(self, cache):
+        assert cache.get("run", "00" * 32) is None
+
+    def test_namespaces_isolated(self, cache):
+        cache.put("run", DIGEST, b"run-bytes")
+        assert cache.get("point", DIGEST) is None
+
+    def test_tier_metadata_survives(self, cache):
+        cache.put("point", DIGEST, b"x", tier="fast", tier_err=0.03)
+        entry = cache.get("point", DIGEST)
+        assert entry.tier == "fast"
+        assert entry.tier_err == pytest.approx(0.03)
+
+    def test_overwrite_replaces_atomically(self, cache):
+        cache.put("run", DIGEST, b"old")
+        cache.put("run", DIGEST, b"new")
+        assert cache.get("run", DIGEST).payload == b"new"
+        # No temp droppings left behind.
+        leftovers = [
+            p for p in cache.root.rglob(".tmp-*") if p.is_file()
+        ]
+        assert leftovers == []
+
+    def test_entry_count(self, cache):
+        assert cache.entry_count() == 0
+        cache.put("run", "aa" * 32, b"1")
+        cache.put("point", "bb" * 32, b"2")
+        assert cache.entry_count() == 2
+        assert cache.entry_count("point") == 1
+        assert cache.entry_count("absent") == 0
+
+
+class TestCorruption:
+    """A torn or tampered frame must read as a miss, never an error —
+    the caller's recovery is simply to re-simulate and overwrite."""
+
+    def _path(self, cache):
+        cache.put("run", DIGEST, b"good payload")
+        [path] = cache.root.rglob("*.cas")
+        return path
+
+    def test_flipped_payload_byte_is_a_miss(self, cache):
+        path = self._path(cache)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.get("run", DIGEST) is None
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        path = self._path(cache)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 3])
+        assert cache.get("run", DIGEST) is None
+
+    def test_wrong_magic_is_a_miss(self, cache):
+        path = self._path(cache)
+        blob = path.read_bytes()
+        path.write_bytes(b"XXXX" + blob[4:])
+        assert cache.get("run", DIGEST) is None
+
+    def test_empty_file_is_a_miss(self, cache):
+        path = self._path(cache)
+        path.write_bytes(b"")
+        assert cache.get("run", DIGEST) is None
+
+    def test_resimulate_overwrites_corrupt_entry(self, cache):
+        path = self._path(cache)
+        path.write_bytes(b"garbage")
+        assert cache.get("run", DIGEST) is None
+        cache.put("run", DIGEST, b"fresh")
+        assert cache.get("run", DIGEST).payload == b"fresh"
+
+
+class TestTierMatrix:
+    """sim entries satisfy everything; fast entries satisfy fast
+    always, auto within tolerance, sim never."""
+
+    @pytest.mark.parametrize("tier", ["sim", "auto", "fast"])
+    def test_sim_entry_satisfies_any_tier(self, tier):
+        entry = CacheEntry(b"", tier="sim", tier_err=0.0)
+        assert ResultCache.satisfies(entry, tier, tolerance=0.0)
+
+    def test_fast_entry_never_satisfies_sim(self):
+        entry = CacheEntry(b"", tier="fast", tier_err=0.0)
+        assert not ResultCache.satisfies(entry, "sim", tolerance=1.0)
+
+    def test_fast_entry_always_satisfies_fast(self):
+        entry = CacheEntry(b"", tier="fast", tier_err=0.5)
+        assert ResultCache.satisfies(entry, "fast", tolerance=0.0)
+
+    def test_fast_entry_satisfies_auto_within_tolerance_only(self):
+        entry = CacheEntry(b"", tier="fast", tier_err=0.1)
+        assert not ResultCache.satisfies(entry, "auto", tolerance=0.05)
+        assert ResultCache.satisfies(entry, "auto", tolerance=0.2)
+
+    def test_lookup_applies_the_gate(self, cache):
+        cache.put("point", DIGEST, b"x", tier="fast", tier_err=0.1)
+        assert cache.lookup("point", DIGEST, tier="sim") is None
+        assert (
+            cache.lookup("point", DIGEST, tier="auto", tolerance=0.05)
+            is None
+        )
+        assert (
+            cache.lookup("point", DIGEST, tier="auto", tolerance=0.2)
+            is not None
+        )
+        assert cache.lookup("point", DIGEST, tier="fast") is not None
+
+
+class TestCasJournal:
+    def test_append_then_get_round_trips_outcome(self, cache):
+        journal = CasJournal(cache)
+        journal.append(0, DIGEST, FakeOutcome(value=7))
+        # Index is deliberately ignored: pure digest keying means
+        # identical points hit from any grid shape.
+        outcome = journal.get(999, DIGEST)
+        assert outcome == FakeOutcome(value=7)
+
+    def test_counters_land_on_tracer(self, cache):
+        tracer = Tracer()
+        journal = CasJournal(cache, tracer=tracer)
+        assert journal.get(0, DIGEST) is None
+        journal.append(0, DIGEST, FakeOutcome())
+        assert journal.get(0, DIGEST) is not None
+        assert tracer.resilience == {"cas_misses": 1, "cas_hits": 1}
+
+    def test_surrogate_outcome_stored_with_its_tier(self, cache):
+        journal = CasJournal(cache)
+        journal.append(
+            0, DIGEST, FakeOutcome(tier="fast", tier_err=0.02)
+        )
+        entry = cache.get("point", DIGEST)
+        assert entry.tier == "fast"
+        assert entry.tier_err == pytest.approx(0.02)
+        # A sim-tier consumer refuses it...
+        assert CasJournal(cache, tier="sim").get(0, DIGEST) is None
+        # ...an auto consumer takes it within tolerance.
+        auto = CasJournal(cache, tier="auto", tolerance=0.05)
+        assert auto.get(0, DIGEST) is not None
+
+    def test_unpicklable_entry_is_a_miss(self, cache):
+        tracer = Tracer()
+        cache.put("point", DIGEST, b"not a pickle")
+        journal = CasJournal(cache, tracer=tracer)
+        assert journal.get(0, DIGEST) is None
+        assert tracer.resilience.get("cas_hits", 0) == 0
+
+    def test_meta_and_complete_are_noops(self, cache):
+        journal = CasJournal(cache)
+        journal.write_meta(experiment_id="x", n_points=3)
+        journal.complete()
+        assert cache.entry_count() == 0
