@@ -12,12 +12,21 @@ reproduction inherits the paper's error bars and quantization artefacts
 rather than reporting the model's exact outputs.
 """
 
+#: The I2C monitor poll rate of the real bench, in hertz. Section III:
+#: 128 samples span "about a 7.5 second time window", i.e. ~17
+#: samples/second. Every consumer of the virtual instruments — the
+#: 128-sample measurement protocol, the long-duration power logger,
+#: and the closed-loop governor's telemetry tick — must sample at this
+#: one rate; import it rather than repeating the literal.
+MONITOR_POLL_HZ = 17.0
+
 from repro.board.monitor import MeasurementProtocol, RailMeasurement
 from repro.board.psu import BenchSupply, OnBoardSupply
 from repro.board.sense import SenseResistor, VoltageMonitor
 from repro.board.testboard import ExperimentalSystem, PitonTestBoard
 
 __all__ = [
+    "MONITOR_POLL_HZ",
     "MeasurementProtocol",
     "RailMeasurement",
     "BenchSupply",

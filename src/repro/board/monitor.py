@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.board import MONITOR_POLL_HZ
 from repro.board.sense import CurrentSenseChannel, SenseResistor, VoltageMonitor
 from repro.power.chip_power import RailPower
 from repro.util.stats import Measurement
@@ -46,7 +47,7 @@ class MeasurementProtocol:
     def __init__(
         self,
         rng: np.random.Generator,
-        poll_hz: float = 17.0,
+        poll_hz: float = MONITOR_POLL_HZ,
         samples: int = 128,
     ):
         if poll_hz <= 0 or samples <= 0:

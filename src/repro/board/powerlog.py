@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.board import MONITOR_POLL_HZ
 from repro.power.chip_power import RailPower
 
 #: power(t_seconds) -> RailPower
@@ -154,7 +155,7 @@ class PowerLog:
 class PowerLogger:
     """Samples a power source at the monitor poll rate."""
 
-    def __init__(self, poll_hz: float = 17.0):
+    def __init__(self, poll_hz: float = MONITOR_POLL_HZ):
         if poll_hz <= 0:
             raise ValueError("poll rate must be positive")
         self.poll_hz = poll_hz

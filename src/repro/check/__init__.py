@@ -25,11 +25,13 @@ package turns that bookkeeping into an oracle:
 
 from repro.check.faults import (
     FAULT_KINDS,
+    GOVERNOR_FAULT_KINDS,
     FaultReport,
     inject_fault,
     inject_dram_timeout,
     inject_dropped_flit,
     inject_duplicated_flit,
+    inject_governor_fault,
     inject_stalled_router,
     inject_tag_bitflip,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "CheckSuite",
     "DEFAULT_GOLDEN_DIR",
     "FAULT_KINDS",
+    "GOVERNOR_FAULT_KINDS",
     "FaultReport",
     "VerifyOutcome",
     "VerifyReport",
@@ -58,6 +61,7 @@ __all__ = [
     "inject_dropped_flit",
     "inject_duplicated_flit",
     "inject_fault",
+    "inject_governor_fault",
     "inject_stalled_router",
     "inject_tag_bitflip",
     "strip_document",

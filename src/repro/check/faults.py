@@ -22,6 +22,10 @@ dropped flit       ``mesh`` (flit conservation)
 duplicated flit    ``mesh`` (flit conservation)
 stalled router     ``mesh`` (forward progress)
 DRAM timeout       ``access`` (latency bound)
+cap breach         ``gov_cap`` (budget soundness)
+off-tick sample    ``gov_tick`` (actuation on the tick grid)
+hysteresis chatter ``gov_dwell`` (trip/clear dwell spacing)
+energy leak        ``gov_energy`` (ledger conservation)
 ================== ==========================================
 """
 
@@ -30,12 +34,13 @@ from __future__ import annotations
 import os
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.system import CoherentMemorySystem
+    from repro.governor.controller import GovernedTrace
     from repro.noc.mesh import MeshNetwork
 
 #: Every injectable scenario, for tests that sweep all of them.
@@ -45,6 +50,15 @@ FAULT_KINDS = (
     "duplicated_flit",
     "stalled_router",
     "dram_timeout",
+)
+
+#: Governor-trace corruptions; each must trip the matching
+#: ``check_governor`` invariant (see the table above).
+GOVERNOR_FAULT_KINDS = (
+    "gov_cap_breach",
+    "gov_offtick_sample",
+    "gov_chatter",
+    "gov_energy_leak",
 )
 
 #: Execution-layer faults the resilience stack must absorb (as opposed
@@ -340,6 +354,126 @@ def inject_checkpoint_truncation(
         "checkpoint_truncation",
         f"truncated {target.name} from {size} to {keep} bytes",
     )
+
+
+# -------------------------------------------------------------- governor
+def inject_gov_cap_breach(
+    trace: "GovernedTrace", seed: int = 0
+) -> FaultReport:
+    """Rewrite one settled sample's true power above the cap.
+
+    Models a capping loop that silently applied a hotter rung than it
+    recorded deciding — the exact bug the soundness invariant exists
+    to catch.
+    """
+    if trace.cap_w is None:
+        raise RuntimeError("trace has no cap to breach (run a cap policy)")
+    candidates = [
+        i
+        for i, s in enumerate(trace.samples)
+        if not trace.in_settle_window(s.t_s)
+    ]
+    if not candidates:
+        raise RuntimeError(
+            "every sample sits in a settle window (run longer)"
+        )
+    index = _rng(seed).choice(candidates)
+    bad_w = trace.cap_w * 1.5
+    trace.samples[index] = replace(trace.samples[index], power_w=bad_w)
+    return FaultReport(
+        "gov_cap_breach",
+        f"sample {index} power rewritten to {bad_w:.3f} W over the "
+        f"{trace.cap_w:g} W cap",
+    )
+
+
+def inject_gov_offtick_sample(
+    trace: "GovernedTrace", seed: int = 0
+) -> FaultReport:
+    """Shift one sample off the monitor tick grid.
+
+    Models a controller that actuated between telemetry ticks (or a
+    trace whose timestamps were accumulated instead of derived).
+    """
+    if not trace.samples:
+        raise RuntimeError("trace has no samples to shift")
+    index = _rng(seed).randrange(len(trace.samples))
+    shift = 0.37 / trace.poll_hz
+    sample = trace.samples[index]
+    trace.samples[index] = replace(sample, t_s=sample.t_s + shift)
+    return FaultReport(
+        "gov_offtick_sample",
+        f"sample {index} shifted {shift:.4f} s off the tick grid",
+    )
+
+
+def inject_gov_chatter(
+    trace: "GovernedTrace", seed: int = 0
+) -> FaultReport:
+    """Mark an extra actuation one tick after a real one.
+
+    Models hysteresis without a dwell: trip and clear firing on
+    back-to-back ticks around a threshold.
+    """
+    if trace.min_dwell_s <= 0:
+        raise RuntimeError(
+            "trace advertises no dwell; chatter is not an invariant "
+            "for this policy"
+        )
+    acts = [i for i, s in enumerate(trace.samples) if s.actuated]
+    acts = [i for i in acts if i + 1 < len(trace.samples)]
+    if acts:
+        index = _rng(seed).choice(acts) + 1
+    else:
+        if len(trace.samples) < 2:
+            raise RuntimeError("trace too short to chatter")
+        index = _rng(seed).randrange(len(trace.samples) - 1)
+        trace.samples[index] = replace(
+            trace.samples[index], actuated=True
+        )
+        index += 1
+    trace.samples[index] = replace(trace.samples[index], actuated=True)
+    return FaultReport(
+        "gov_chatter",
+        f"sample {index} marked actuated one tick after the previous "
+        "actuation",
+    )
+
+
+def inject_gov_energy_leak(
+    trace: "GovernedTrace", seed: int = 0
+) -> FaultReport:
+    """Inflate the energy ledger relative to the per-tick sum.
+
+    Models an accumulator bug across throttle events (double-counting
+    the actuation tick).
+    """
+    del seed  # uniform fault; kept for the common injector signature
+    old = trace.energy_j
+    trace.energy_j = old * 1.01 + 1.0
+    return FaultReport(
+        "gov_energy_leak",
+        f"energy ledger inflated from {old:.3f} J to "
+        f"{trace.energy_j:.3f} J",
+    )
+
+
+def inject_governor_fault(
+    kind: str, trace: "GovernedTrace", seed: int = 0
+) -> FaultReport:
+    """Inject one named governor fault into a governed trace."""
+    injectors = {
+        "gov_cap_breach": inject_gov_cap_breach,
+        "gov_offtick_sample": inject_gov_offtick_sample,
+        "gov_chatter": inject_gov_chatter,
+        "gov_energy_leak": inject_gov_energy_leak,
+    }
+    if kind not in injectors:
+        raise ValueError(
+            f"unknown governor fault kind {kind!r}; known: "
+            f"{GOVERNOR_FAULT_KINDS}"
+        )
+    return injectors[kind](trace, seed=seed)
 
 
 # -------------------------------------------------------------- dispatch

@@ -26,7 +26,13 @@ relies on:
   by the calibration and classified by the :mod:`repro.obs` component
   map without loss;
 * **thermal** — RC network temperatures bounded by ambient and the
-  steady-state ceiling implied by the peak applied power.
+  steady-state ceiling implied by the peak applied power;
+* **governor** — closed-loop power-management traces: the power cap is
+  never exceeded once the settle window after start/disturbances has
+  passed (``gov_cap``), trip/clear hysteresis never actuates twice
+  within the advertised dwell (``gov_dwell``), every sample — and
+  hence every actuation — lands on the 17 Hz tick grid (``gov_tick``),
+  and the energy/work ledgers equal the per-tick sums (``gov_energy``).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.system import CoherentMemorySystem, MemoryAccessOutcome
     from repro.core.multicore import MulticoreEngine
     from repro.core.pipeline import Core
+    from repro.governor.controller import GovernedTrace
     from repro.noc.mesh import MeshNetwork
     from repro.power.calibration import Calibration
     from repro.thermal.rc_network import ThermalNetwork
@@ -355,6 +362,93 @@ class CheckSuite:
                     f"[{floor:.3f}, {ceiling:.3f}] C "
                     f"(ambient {network.ambient_c}, peak {peak:.3f} W)",
                 )
+
+    # ------------------------------------------------------------- governor
+    def check_governor(self, trace: "GovernedTrace") -> None:
+        """Closed-loop control invariants over a governed trace.
+
+        Failures carry the specific invariant as the checker name
+        (``gov_cap``/``gov_dwell``/``gov_tick``/``gov_energy``) so the
+        fault tests can pin which one caught each injected corruption;
+        structural problems fail as plain ``governor``.
+        """
+        self._ran("governor")
+        if not math.isfinite(trace.poll_hz) or trace.poll_hz <= 0:
+            self._fail(
+                "governor", f"invalid poll rate {trace.poll_hz!r} Hz"
+            )
+        if trace.n_levels < 1:
+            self._fail(
+                "governor", f"ladder has {trace.n_levels} levels"
+            )
+        dt = 1.0 / trace.poll_hz
+        for i, s in enumerate(trace.samples):
+            if not 0 <= s.level < trace.n_levels:
+                self._fail(
+                    "governor",
+                    f"sample {i} commands level {s.level} outside the "
+                    f"{trace.n_levels}-step ladder",
+                )
+            if not math.isfinite(s.power_w) or s.power_w < 0:
+                self._fail(
+                    "governor",
+                    f"sample {i} has invalid power {s.power_w!r} W",
+                )
+            # Actuation happens only at monitor ticks: every sample
+            # timestamp (actuations included) must sit on the k/poll
+            # grid. The slack covers float association order, not a
+            # real offset.
+            expected = i * dt
+            if abs(s.t_s - expected) > self.EPS * max(1.0, expected):
+                self._fail(
+                    "gov_tick",
+                    f"sample {i} at t={s.t_s!r} s is off the "
+                    f"{trace.poll_hz:g} Hz tick grid "
+                    f"(expected {expected!r} s)",
+                )
+        if trace.cap_w is not None:
+            limit = trace.cap_w * (1.0 + self.EPS)
+            for i, s in enumerate(trace.samples):
+                if s.power_w > limit and not trace.in_settle_window(
+                    s.t_s
+                ):
+                    self._fail(
+                        "gov_cap",
+                        f"sample {i} (t={s.t_s:.3f} s) draws "
+                        f"{s.power_w:.4f} W over the {trace.cap_w:g} W "
+                        "cap outside every settle window",
+                    )
+        if trace.min_dwell_s > 0:
+            acts = trace.actuation_times()
+            for a, b in zip(acts, acts[1:]):
+                if b - a < trace.min_dwell_s - self.EPS:
+                    self._fail(
+                        "gov_dwell",
+                        f"actuations at {a:.4f} s and {b:.4f} s are "
+                        f"{b - a:.4f} s apart, inside the "
+                        f"{trace.min_dwell_s:g} s dwell (chatter)",
+                    )
+        energy = 0.0
+        work = 0.0
+        for s in trace.samples:
+            energy += s.power_w * dt
+            work += s.freq_hz * dt
+        if abs(energy - trace.energy_j) > self.EPS * max(
+            1.0, abs(energy)
+        ):
+            self._fail(
+                "gov_energy",
+                f"energy ledger {trace.energy_j!r} J != per-tick sum "
+                f"{energy!r} J across throttle events",
+            )
+        if abs(work - trace.work_cycles) > self.EPS * max(
+            1.0, abs(work)
+        ):
+            self._fail(
+                "gov_energy",
+                f"work ledger {trace.work_cycles!r} cycles != "
+                f"per-tick sum {work!r} cycles",
+            )
 
     # --------------------------------------------------------------- engine
     def check_engine(self, engine: "MulticoreEngine") -> None:

@@ -1,0 +1,100 @@
+"""Fan failure and recovery under the hysteretic thermal governor.
+
+The paper's "camera" demo runs Piton passively cooled at 0.65 V; this
+scenario stresses that regime with a mid-run cooling fault: the
+outermost thermal stage's resistance doubles (fan stops) and later
+recovers. The governed arm sheds rungs as the die crosses the trip
+point and climbs back after recovery — and must do it without
+chattering (dwell >= one die time constant, audited by ``gov_dwell``).
+The static arm documents the overtemperature excursion a fixed
+operating point suffers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import RunContext, experiment_runner
+from repro.experiments.ctl_common import decimate, persona_name, run_specs
+from repro.experiments.result import ExperimentResult
+from repro.governor.scenarios import ScenarioSpec
+
+#: Passive-cooling ladder: the paper's camera point (0.65 V) upward.
+VDD_GRID = (0.65, 0.70, 0.75, 0.80)
+ACTIVITY_W = 0.2
+TRIP_C = 65.0
+CLEAR_C = 54.0
+FAN_FAIL_S = 60.0
+FAN_RECOVER_S = 240.0
+FAN_R_FACTOR = 2.0
+
+
+def _specs(persona: str, duration_s: float) -> list[ScenarioSpec]:
+    common = dict(
+        persona=persona,
+        cooling="camera",
+        vdd_grid=VDD_GRID,
+        duration_s=duration_s,
+        phases=((0.0, ACTIVITY_W),),
+        fan_fail_s=FAN_FAIL_S,
+        fan_recover_s=FAN_RECOVER_S,
+        fan_r_factor=FAN_R_FACTOR,
+    )
+    return [
+        ScenarioSpec(name="static", policy="static", **common),
+        ScenarioSpec(
+            name="governed",
+            policy="thermal_trip",
+            trip_c=TRIP_C,
+            clear_c=CLEAR_C,
+            **common,
+        ),
+    ]
+
+
+@experiment_runner
+def run(ctx: RunContext) -> ExperimentResult:
+    duration = 600.0 if ctx.quick else 900.0
+    specs = _specs(persona_name(ctx, "thermal"), duration)
+    traces = run_specs(ctx, specs)
+
+    result = ExperimentResult(
+        experiment_id="ctl_fan_failure",
+        title="Fan failure/recovery on the passive camera setup "
+        f"(R_hs x{FAN_R_FACTOR:g} at t={FAN_FAIL_S:g} s, recovered "
+        f"at t={FAN_RECOVER_S:g} s)",
+        headers=[
+            "Policy",
+            "Peak die temp (C)",
+            "Min level",
+            "End level",
+            "Actuations",
+            "Mean freq (MHz)",
+            "Energy (J)",
+        ],
+    )
+    for spec, trace in zip(specs, traces):
+        levels = [s.level for s in trace.samples]
+        result.rows.append(
+            (
+                spec.name,
+                round(trace.peak_temp_c(), 1),
+                min(levels),
+                levels[-1],
+                trace.gov_actuations,
+                round(trace.mean_freq_hz() / 1e6, 1),
+                round(trace.energy_j, 1),
+            )
+        )
+        result.series[f"{spec.name}_temp_c"] = decimate(
+            [s.die_temp_c for s in trace.samples]
+        )
+        result.series[f"{spec.name}_level"] = decimate(
+            [float(s.level) for s in trace.samples]
+        )
+    result.notes.append(
+        "the slow thermal mode here is C_total*R_hs (~8 min once the "
+        "fan dies), so the governor's response is paced by physics, "
+        "not the 17 Hz loop; hysteresis plus the dwell floor keep it "
+        "to a handful of clean actuations instead of limit cycling on "
+        "the trip point"
+    )
+    return result

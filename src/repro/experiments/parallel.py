@@ -64,20 +64,30 @@ def parallel_map(
     preserves it). ``fn`` must be a module-level function and ``items``
     picklable when ``jobs > 1``.
 
-    The pool is torn down with an explicit ``terminate()`` + ``join()``
-    in a ``finally`` block: relying on ``Pool.__exit__`` alone leaks
-    worker processes when a ``KeyboardInterrupt`` lands mid-``map``
-    (the interrupted main thread can abandon the pool's internal
-    machinery before ``__exit__``'s cleanup runs to completion).
+    A completed ``map`` drains the pool gracefully (``close()`` +
+    ``join()``): idle workers exit on their own instead of eating a
+    ``SIGTERM``, which matters because CLI runs install signal
+    handlers that forked workers inherit — terminating a healthy pool
+    would make every worker die raising ``GridInterrupted`` to
+    stderr. A ``map`` that *raises* is torn down with an explicit
+    ``terminate()`` + ``join()``: relying on ``Pool.__exit__`` alone
+    leaks worker processes when a ``KeyboardInterrupt`` lands
+    mid-``map`` (the interrupted main thread can abandon the pool's
+    internal machinery before ``__exit__``'s cleanup runs to
+    completion).
     """
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     pool = multiprocessing.Pool(min(jobs, len(items)))
     try:
-        return pool.map(fn, items)
-    finally:
+        results = pool.map(fn, items)
+    except BaseException:
         pool.terminate()
         pool.join()
+        raise
+    pool.close()
+    pool.join()
+    return results
 
 
 def parallel_simulate(

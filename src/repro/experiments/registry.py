@@ -209,6 +209,37 @@ _SPECS = (
         "ablation_dtm",
         "Dynamic thermal management vs the static Fmax limit",
     ),
+    # --- closed-loop power management: repro.governor scenarios ------------
+    _spec(
+        "ctl_thermal",
+        "ctl_thermal",
+        "Closed-loop thermal throttle vs ungoverned top rung",
+        supports_jobs=True,
+        chart=ChartSpec(("static_temp_c", "governed_temp_c"), "C"),
+    ),
+    _spec(
+        "ctl_powercap",
+        "ctl_powercap",
+        "Power capping across a phase jump: reactive vs PI",
+        supports_jobs=True,
+        chart=ChartSpec(
+            ("uncapped_power_w", "reactive_power_w", "pi_power_w"), "W"
+        ),
+    ),
+    _spec(
+        "ctl_race_vs_pace",
+        "ctl_race_vs_pace",
+        "Race-to-idle vs pace-to-deadline for a fixed work quantum",
+        supports_jobs=True,
+        chart=ChartSpec(("race_power_w", "pace_power_w"), "W"),
+    ),
+    _spec(
+        "ctl_fan_failure",
+        "ctl_fan_failure",
+        "Fan failure/recovery hysteresis on the passive camera setup",
+        supports_jobs=True,
+        chart=ChartSpec(("static_temp_c", "governed_temp_c"), "C"),
+    ),
 )
 
 #: experiment id -> spec, in paper order.

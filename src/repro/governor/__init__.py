@@ -1,0 +1,62 @@
+"""Closed-loop chip power management over the virtual bench.
+
+The paper characterizes the 25-core chip open loop; this package adds
+the control loop its measurements invite (ROADMAP item 4): a governor
+that samples the board's monitors at the bench's 17 Hz poll rate and
+actuates (V, f) along a :class:`~repro.power.vf_curve.VfCurve`-derived
+ladder on the live power-temperature model, with pluggable policies —
+hysteretic thermal trip/clear, reactive and PI power capping,
+race-to-idle versus pace-to-deadline. Scenario value objects make runs
+picklable and deterministic; :mod:`repro.check` audits every trace's
+cap, hysteresis-dwell, tick-grid, and energy-ledger invariants.
+"""
+
+from repro.governor.controller import (
+    GOVERNED_TRACE_SCHEMA_VERSION,
+    GovernedTrace,
+    Governor,
+    GovernorSample,
+)
+from repro.governor.ladder import DEFAULT_VDD_GRID, LadderStep, vf_ladder
+from repro.governor.policies import (
+    GovernorPolicy,
+    PaceToDeadlinePolicy,
+    PIPowerCapPolicy,
+    PolicyTick,
+    RaceToIdlePolicy,
+    ReactiveCapPolicy,
+    StaticPolicy,
+    ThermalTripPolicy,
+)
+from repro.governor.scenarios import (
+    COOLING_SETUPS,
+    NOMINAL_HZ,
+    POLICY_NAMES,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.governor.telemetry import PowerTelemetry
+
+__all__ = [
+    "GOVERNED_TRACE_SCHEMA_VERSION",
+    "GovernedTrace",
+    "Governor",
+    "GovernorSample",
+    "DEFAULT_VDD_GRID",
+    "LadderStep",
+    "vf_ladder",
+    "GovernorPolicy",
+    "PolicyTick",
+    "StaticPolicy",
+    "ThermalTripPolicy",
+    "ReactiveCapPolicy",
+    "PIPowerCapPolicy",
+    "RaceToIdlePolicy",
+    "PaceToDeadlinePolicy",
+    "COOLING_SETUPS",
+    "NOMINAL_HZ",
+    "POLICY_NAMES",
+    "ScenarioSpec",
+    "run_scenario",
+    "PowerTelemetry",
+]

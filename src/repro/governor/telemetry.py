@@ -1,0 +1,40 @@
+"""What the governor actually reads: the board's instruments.
+
+The control loop does not get the model's exact watts — it samples the
+same virtual I2C monitors the measurement protocol uses (quantized,
+noisy, across a sense resistor), at the same
+:data:`repro.board.MONITOR_POLL_HZ` tick. Feedback policies therefore
+regulate against realistic telemetry while the invariants in
+:mod:`repro.check` are judged on the true model power, exactly the gap
+a real power-capping controller lives with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.board.sense import CurrentSenseChannel, SenseResistor, VoltageMonitor
+
+
+class PowerTelemetry:
+    """One seeded power-sense channel (voltage monitor + shunt).
+
+    Deterministic for a given seed regardless of process: the stream
+    comes from ``np.random.default_rng(seed)``, so a scenario measured
+    in a worker pool reads bit-identical samples to one measured
+    serially.
+    """
+
+    def __init__(self, seed: int, shunt: SenseResistor | None = None):
+        rng = np.random.default_rng(seed)
+        self._vmon = VoltageMonitor(rng)
+        self._imon = CurrentSenseChannel(shunt or SenseResistor(), rng)
+
+    def read_power_w(self, true_power_w: float, rail_v: float) -> float:
+        """Measure a true draw through the instruments, in watts."""
+        if rail_v <= 0:
+            raise ValueError("rail voltage must be positive")
+        true_current = true_power_w / rail_v
+        v_meas = self._vmon.read(rail_v)
+        i_meas = self._imon.read_current_a(true_current, rail_v)
+        return v_meas * i_meas

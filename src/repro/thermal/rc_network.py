@@ -53,6 +53,20 @@ class ThermalNetwork:
     def total_resistance(self) -> float:
         return sum(s.r_c_per_w for s in self.stages)
 
+    def set_stage_resistance(self, index: int, r_c_per_w: float) -> None:
+        """Swap one stage's thermal resistance in place, keeping the
+        node temperatures (they are physical state).
+
+        This models a cooling change while the system runs — a fan
+        failing (convective resistance jumps) or recovering — which the
+        closed-loop governor scenarios drive mid-simulation. Validation
+        rides on :class:`RcStage`'s own ``__post_init__``.
+        """
+        stage = self.stages[index]
+        self.stages[index] = RcStage(
+            stage.name, r_c_per_w, stage.c_j_per_c
+        )
+
     def steady_state(self, power_w: float) -> list[float]:
         """Node temperatures once everything settles at ``power_w``."""
         temps = []

@@ -163,6 +163,24 @@ class TestRunEndpoint:
         bodies = {r[2] for r in results}
         assert len(bodies) == 1  # all responses bit-identical
 
+    def test_ctl_experiment_reachable_and_cached(self, service):
+        """The governor scenarios are ordinary registered experiments:
+        the daemon runs them cold, caches by content, and replays the
+        stored bytes warm."""
+        body = {"experiment": "ctl_powercap", "quick": True}
+        s1, h1, b1 = _request(service, "POST", "/v1/run", body)
+        assert s1 == 200
+        assert h1["X-Repro-Cache"] == "miss"
+        doc = _strip_manifest(b1)
+        assert doc["experiment_id"] == "ctl_powercap"
+        assert [row[0] for row in doc["rows"]] == [
+            "uncapped", "reactive", "pi",
+        ]
+        s2, h2, b2 = _request(service, "POST", "/v1/run", body)
+        assert s2 == 200
+        assert h2["X-Repro-Cache"] == "hit"
+        assert b1 == b2
+
     def test_unknown_experiment_400_names_known(self, service):
         status, _, body = _request(
             service, "POST", "/v1/run", {"experiment": "fig99"}
