@@ -326,6 +326,121 @@ def trigger_worker_fault(index: int, attempt: int) -> None:
     time.sleep(WORKER_HANG_S)
 
 
+# ------------------------------------------------------------ serve layer
+#: Daemon-level faults the service hardening must absorb.
+#: ``task_delay`` stretches every worker task (so tests can observe a
+#: job mid-flight: saturate the tier, abort a stream, kill the
+#: daemon); ``daemon_kill`` makes the daemon die abruptly right after
+#: journaling a job as running — the mid-job SIGKILL scenario.
+SERVE_FAULT_KINDS = ("task_delay", "daemon_kill")
+
+#: ``kind:value`` — e.g. ``task_delay:0.5`` (seconds) or
+#: ``daemon_kill:1`` (fire on the 1st running transition).
+SERVE_FAULT_ENV = "REPRO_SERVE_FAULT"
+
+
+def arm_serve_fault(kind: str, value: float = 0.0) -> None:
+    """Arm one daemon-level fault via the environment.
+
+    Like :func:`arm_worker_fault`, arming travels through the
+    environment so it reaches a daemon started as a subprocess.
+    ``daemon_kill`` takes the whole process down with ``os._exit`` —
+    never arm it for a daemon running inside the test process.
+    """
+    if kind not in SERVE_FAULT_KINDS:
+        raise ValueError(
+            f"unknown serve fault {kind!r}; armable: {SERVE_FAULT_KINDS}"
+        )
+    os.environ[SERVE_FAULT_ENV] = f"{kind}:{value:g}"
+
+
+def disarm_serve_fault() -> None:
+    os.environ.pop(SERVE_FAULT_ENV, None)
+
+
+def active_serve_fault() -> tuple[str, float] | None:
+    """The armed ``(kind, value)``, or ``None``; malformed specs raise."""
+    spec = os.environ.get(SERVE_FAULT_ENV)
+    if not spec:
+        return None
+    try:
+        kind, value_text = spec.split(":", 1)
+        value = float(value_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed {SERVE_FAULT_ENV}={spec!r}; expected "
+            "'task_delay:SECONDS' or 'daemon_kill:N'"
+        ) from None
+    if kind not in SERVE_FAULT_KINDS:
+        raise ValueError(
+            f"unknown serve fault kind {kind!r} in "
+            f"{SERVE_FAULT_ENV}={spec!r}"
+        )
+    return kind, value
+
+
+def trigger_serve_task_delay() -> None:
+    """Stretch this worker task if ``task_delay`` is armed.
+
+    Called at the top of the service worker body, inside the isolated
+    worker process — the daemon itself never sleeps.
+    """
+    fault = active_serve_fault()
+    if fault is not None and fault[0] == "task_delay":
+        time.sleep(fault[1])
+
+
+_DAEMON_KILL_FIRED = 0
+
+
+def trigger_daemon_kill() -> None:
+    """Die abruptly if ``daemon_kill`` is armed and its count is due.
+
+    Called by the daemon right after a job's ``running`` journal
+    record lands — the worst moment to die, which is the point. The
+    value names which running-transition fires (1 = the first), so a
+    recovery test can let a warm-up job through. ``os._exit`` skips
+    every finally/atexit, exactly like SIGKILL. Subprocess daemons
+    only: in-process use would kill the test runner.
+    """
+    global _DAEMON_KILL_FIRED
+    fault = active_serve_fault()
+    if fault is None or fault[0] != "daemon_kill":
+        return
+    _DAEMON_KILL_FIRED += 1
+    if _DAEMON_KILL_FIRED >= int(fault[1]):
+        os._exit(9)
+
+
+def inject_job_journal_truncation(
+    jobs_dir: "Path | str", drop_bytes: int = 7, seed: int = 0
+) -> FaultReport:
+    """Truncate the newest job-journal record (a torn tail write).
+
+    The job journal's CRC framing must quarantine the record on the
+    next scan — one lost job, not a crashed recovery loop.
+    """
+    del seed  # deterministic target; kept for the injector signature
+    jobs_dir = Path(jobs_dir)
+    records = sorted(
+        jobs_dir.glob("*.job"), key=lambda p: p.stat().st_mtime
+    )
+    if not records:
+        raise RuntimeError(
+            f"no job records under {jobs_dir} to truncate "
+            "(journal a job first)"
+        )
+    target = records[-1]
+    size = target.stat().st_size
+    keep = max(0, size - drop_bytes)
+    with open(target, "r+b") as fh:
+        fh.truncate(keep)
+    return FaultReport(
+        "job_journal_truncation",
+        f"truncated {target.name} from {size} to {keep} bytes",
+    )
+
+
 def inject_checkpoint_truncation(
     journal_dir: "Path | str", drop_bytes: int = 7, seed: int = 0
 ) -> FaultReport:

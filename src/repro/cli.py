@@ -313,9 +313,17 @@ def cmd_status(args: argparse.Namespace) -> int:
     if args.json:
         from repro.serve.status import status_document
 
+        cas_stats = None
+        if Path(args.cas_dir).is_dir():
+            from repro.serve.cas import ResultCache
+
+            cas_stats = ResultCache(args.cas_dir).stats()
         print(
             json.dumps(
-                status_document(root, experiment_ids), indent=2
+                status_document(
+                    root, experiment_ids, cas=cas_stats
+                ),
+                indent=2,
             )
         )
         return 0
@@ -498,6 +506,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cas(args: argparse.Namespace) -> int:
+    """Inspect/maintain the content-addressed result store."""
+    from repro.serve.cas import ResultCache
+
+    root = Path(args.cas_dir)
+    if not root.is_dir():
+        print(f"no store at {root}", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(
+                f"{stats['entries']} entr"
+                f"{'y' if stats['entries'] == 1 else 'ies'}, "
+                f"{stats['bytes']} bytes under {root}"
+            )
+        return 0
+    if args.action == "gc":
+        if args.quota_mb is None:
+            print("gc needs --quota-mb", file=sys.stderr)
+            return 2
+        evicted = cache.gc(int(args.quota_mb * 1024 * 1024))
+        doc = {"evicted": evicted, **cache.stats()}
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(
+                f"evicted {evicted} entr"
+                f"{'y' if evicted == 1 else 'ies'}; "
+                f"{doc['entries']} left ({doc['bytes']} bytes)"
+            )
+        return 0
+    repaired = cache.scrub()
+    doc = {"quarantined": repaired, **cache.stats()}
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"quarantined {repaired} damaged entr"
+            f"{'y' if repaired == 1 else 'ies'}; "
+            f"{doc['entries']} verified entries remain"
+        )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the simulation service (or just validate a spec file)."""
     from repro.sweepspec import SpecError, describe_spec, load_spec
@@ -519,6 +575,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         profile_dir=args.profile_dir,
         workers=args.workers,
+        jobs_dir=args.jobs_dir,
+        queue_depth=args.queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        cas_quota_mb=args.cas_quota_mb,
+        gc_interval_s=args.gc_interval,
+        retries=args.serve_retries,
+        deadline_s=args.serve_deadline,
+        drain_timeout_s=args.drain_timeout,
     )
     return service.run_blocking()
 
@@ -741,11 +806,54 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"journal location (default: {DEFAULT_CHECKPOINT_DIR})",
     )
     status.add_argument(
+        "--cas-dir",
+        default="results/cas",
+        metavar="DIR",
+        help="content-addressed result store to report statistics "
+        "for in --json output (default: results/cas; skipped when "
+        "the directory does not exist)",
+    )
+    status.add_argument(
         "--json",
         action="store_true",
         help="print the per-experiment journal status as JSON",
     )
     status.set_defaults(func=cmd_status)
+
+    cas = sub.add_parser(
+        "cas",
+        help="inspect and maintain the content-addressed result store",
+        description="Lifecycle tooling for the store `repro serve` "
+        "memoizes results in: `stats` prints entry counts and bytes, "
+        "`gc` evicts least-recently-used entries until the store fits "
+        "a size quota, `scrub` quarantines entries whose CRC framing "
+        "fails verification.",
+    )
+    cas.add_argument(
+        "action",
+        choices=("stats", "gc", "scrub"),
+        help="stats = report; gc = LRU-evict to --quota-mb; "
+        "scrub = quarantine damaged frames",
+    )
+    cas.add_argument(
+        "--cas-dir",
+        default="results/cas",
+        metavar="DIR",
+        help="store location (default: results/cas)",
+    )
+    cas.add_argument(
+        "--quota-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size quota for gc (required by the gc action)",
+    )
+    cas.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON",
+    )
+    cas.set_defaults(func=cmd_cas)
 
     chart = sub.add_parser("chart", help="ASCII chart of a figure")
     chart.add_argument(
@@ -931,7 +1039,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=2,
-        help="simulation worker threads (default 2)",
+        help="concurrent isolated worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--jobs-dir",
+        default="results/serve/jobs",
+        metavar="DIR",
+        help="durable job journal; interrupted jobs recorded here "
+        "are recovered on the next start "
+        "(default: results/serve/jobs)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admitted jobs allowed beyond the running workers "
+        "before new simulating requests get 503 + Retry-After "
+        "(default 8)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="per-client token-bucket refill rate for simulating "
+        "POSTs; over-budget clients get 429 + Retry-After "
+        "(default 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=5.0,
+        metavar="N",
+        help="per-client burst capacity when --rate-limit is set "
+        "(default 5)",
+    )
+    serve.add_argument(
+        "--cas-quota-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size quota for the result store; a background task "
+        "LRU-evicts past it (default: unlimited)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds between background quota-enforcement passes "
+        "(default 60)",
+    )
+    serve.add_argument(
+        "--serve-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget for a crashed/hung worker process before "
+        "the job fails with 500 (default 2)",
+    )
+    serve.add_argument(
+        "--serve-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job deadline before a worker is declared hung and "
+        "retried (default: none)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="on SIGTERM, seconds to let running jobs finish before "
+        "journaling the stragglers and exiting 75 (default 30)",
     )
     serve.add_argument(
         "--dry-run",

@@ -80,6 +80,7 @@ def _worker_main(
     fn: Callable[[object], object],
     task_q: "multiprocessing.Queue",
     result_q: "multiprocessing.Queue",
+    forward_events: bool = False,
 ) -> None:
     """Worker loop: heartbeat, run, report; repeat until sentinel.
 
@@ -87,6 +88,13 @@ def _worker_main(
     group; teardown is the supervisor's decision, delivered as
     SIGTERM), and SIGTERM is reset to its default so ``terminate()``
     kills even a worker wedged mid-point.
+
+    With ``forward_events`` the task function is called as
+    ``fn(payload, emit)``; anything it passes to ``emit`` (small
+    JSON-able dicts, in practice tracer events) is relayed to the
+    supervisor as an ``("event", ...)`` message while the point is
+    still running — this is how the serve tier streams live telemetry
+    out of an isolated worker process.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
@@ -100,7 +108,14 @@ def _worker_main(
         result_q.put(("start", worker_id, index, attempt, time.time()))
         try:
             trigger_worker_fault(index, attempt)
-            result = fn(payload)
+            if forward_events:
+
+                def emit(event: object, _i=index, _a=attempt) -> None:
+                    result_q.put(("event", worker_id, _i, _a, event))
+
+                result = fn(payload, emit)
+            else:
+                result = fn(payload)
         except BaseException:
             result_q.put(
                 ("error", worker_id, index, attempt, traceback.format_exc())
@@ -140,11 +155,34 @@ class SupervisedPool:
         jobs: int,
         policy: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        *,
+        isolate: bool = False,
+        daemon: bool = True,
+        forward_events: bool = False,
+        in_process_fallback: bool = True,
     ):
+        """``isolate=True`` forces worker processes even for a single
+        task or ``jobs=1`` — the serve tier needs the process boundary
+        itself (a segfault must land in a child), not the parallelism.
+        ``daemon=False`` makes workers non-daemonic so a worker can
+        fan out its own inner pool (a served sweep with ``jobs > 1``).
+        ``forward_events`` switches the task-function calling
+        convention to ``fn(payload, emit)`` (see :func:`_worker_main`)
+        and enables :meth:`map`'s ``on_event`` callback.
+        ``in_process_fallback=False`` turns the last-resort serial
+        attempt off: a point that exhausts its retry budget raises
+        :class:`PointFailure` instead of re-running inside the
+        supervising process — mandatory when the supervisor is a
+        daemon that must survive a deterministically-crashing task.
+        """
         self.fn = fn
         self.jobs = max(1, jobs)
         self.policy = policy if policy is not None else RetryPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.isolate = isolate
+        self.daemon_workers = daemon
+        self.forward_events = forward_events
+        self.in_process_fallback = in_process_fallback
         self._next_worker_id = 0
         self._workers: dict[int, _Worker] = {}
         self._result_q: "multiprocessing.Queue | None" = None
@@ -154,25 +192,31 @@ class SupervisedPool:
         self._pending: list[tuple[float, int, int]] = []
         self._durations: list[float] = []
         self._on_result: Callable[[int, object], None] | None = None
+        self._on_event: Callable[[int, object], None] | None = None
 
     # -------------------------------------------------------------------- map
     def map(
         self,
         tasks: Sequence[object],
         on_result: Callable[[int, object], None] | None = None,
+        on_event: Callable[[int, object], None] | None = None,
     ) -> list[object]:
         """``[fn(t) for t in tasks]`` on supervised workers.
 
         ``on_result(index, result)`` fires as each point completes
         (workers finish out of submission order); the returned list is
-        always in submission order.
+        always in submission order. ``on_event(index, event)`` (with
+        ``forward_events``) fires for every event the running task
+        emits, while it is still running — events from an attempt that
+        is later retried are forwarded too, so consumers see honest
+        per-attempt telemetry, not a deduplicated fiction.
         """
         if not tasks:
             return []
-        if self.jobs <= 1 or len(tasks) == 1:
+        if not self.isolate and (self.jobs <= 1 or len(tasks) == 1):
             results = []
             for index, task in enumerate(tasks):
-                result = self.fn(task)
+                result = self._call_in_process(task, index, on_event)
                 self.tracer.count("points_simulated")
                 if on_result is not None:
                     on_result(index, result)
@@ -185,6 +229,7 @@ class SupervisedPool:
         self._pending = [(0.0, index, 0) for index in range(len(tasks))]
         self._durations = []
         self._on_result = on_result
+        self._on_event = on_event
         self._result_q = multiprocessing.Queue()
         try:
             self._maintain_strength()
@@ -198,6 +243,19 @@ class SupervisedPool:
         finally:
             self._teardown()
 
+    def _call_in_process(
+        self,
+        task: object,
+        index: int,
+        on_event: Callable[[int, object], None] | None,
+    ) -> object:
+        """Run one task in this process, honoring the calling convention."""
+        if self.forward_events:
+            if on_event is not None:
+                return self.fn(task, lambda event: on_event(index, event))
+            return self.fn(task, lambda event: None)
+        return self.fn(task)
+
     # ---------------------------------------------------------------- workers
     def _spawn_worker(self) -> None:
         task_q: "multiprocessing.Queue" = multiprocessing.Queue()
@@ -205,8 +263,14 @@ class SupervisedPool:
         self._next_worker_id += 1
         proc = multiprocessing.Process(
             target=_worker_main,
-            args=(worker_id, self.fn, task_q, self._result_q),
-            daemon=True,
+            args=(
+                worker_id,
+                self.fn,
+                task_q,
+                self._result_q,
+                self.forward_events,
+            ),
+            daemon=self.daemon_workers,
             name=f"repro-supervised-{worker_id}",
         )
         proc.start()
@@ -283,6 +347,12 @@ class SupervisedPool:
             if kind == "start":
                 if held:
                     worker.started_at = time.monotonic()
+                continue
+            if kind == "event":
+                # Live telemetry from a running task; stale attempts
+                # (already failed over) are silenced.
+                if held and self._on_event is not None:
+                    self._on_event(index, body)
                 continue
             if held:
                 self._durations.append(
@@ -364,12 +434,23 @@ class SupervisedPool:
             )
             self._pending.append((ready_at, index, next_attempt))
             return
+        if not self.in_process_fallback:
+            # The supervisor must outlive the task (it is a daemon, or
+            # the task is known to crash its host): spent budget is a
+            # hard failure, never an in-process re-run.
+            raise PointFailure(
+                index,
+                next_attempt,
+                f"last failure ({reason}): {detail}",
+            )
         # Budget spent: one final serial attempt in this process. A
         # deterministic failure reproduces here and surfaces as a real
         # error, with the last worker-side detail attached.
         self.tracer.count("fallback_in_process")
         try:
-            result = self.fn(self._tasks[index])
+            result = self._call_in_process(
+                self._tasks[index], index, self._on_event
+            )
         except Exception as exc:
             raise PointFailure(
                 index,

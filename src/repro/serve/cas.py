@@ -72,9 +72,19 @@ def _normalize_key(key: bytes | str) -> str:
 class ResultCache:
     """The on-disk content-addressed store (crash-safe, append-only)."""
 
+    #: Quarantined frames land here, renamed so no glob re-reads them.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: Path | str = DEFAULT_CAS_DIR):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Lifetime counters for this handle (the daemon keeps one for
+        # its whole life, so these are the service totals surfaced on
+        # /v1/status; a CLI handle starts from zero).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.scrub_repairs = 0
 
     def _entry_path(self, namespace: str, key: bytes | str) -> Path:
         key = _normalize_key(key)
@@ -117,13 +127,9 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------ read
-    def get(self, namespace: str, key: bytes | str) -> CacheEntry | None:
-        """The verified entry, or ``None`` (absent *or* corrupt)."""
-        path = self._entry_path(namespace, key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            return None
+    @staticmethod
+    def _decode(blob: bytes) -> CacheEntry | None:
+        """Verify one frame; ``None`` on any damage (torn, flipped)."""
         head = len(_MAGIC) + _HEADER.size
         if len(blob) < head or not blob.startswith(_MAGIC):
             return None
@@ -137,6 +143,15 @@ class ResultCache:
         if tier is None:
             return None
         return CacheEntry(payload=payload, tier=tier, tier_err=tier_err)
+
+    def get(self, namespace: str, key: bytes | str) -> CacheEntry | None:
+        """The verified entry, or ``None`` (absent *or* corrupt)."""
+        path = self._entry_path(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        return self._decode(blob)
 
     @staticmethod
     def satisfies(
@@ -160,10 +175,22 @@ class ResultCache:
         tier: str = "sim",
         tolerance: float = 0.05,
     ) -> CacheEntry | None:
-        """:meth:`get` plus the tier gate in one call."""
+        """:meth:`get` plus the tier gate in one call.
+
+        Counts a hit/miss on this handle and — on a hit — touches the
+        entry's mtime, which is the LRU clock :meth:`gc` evicts by:
+        an entry a sweep keeps re-reading stays hot however old its
+        write is.
+        """
         entry = self.get(namespace, key)
         if entry is None or not self.satisfies(entry, tier, tolerance):
+            self.misses += 1
             return None
+        self.hits += 1
+        try:
+            os.utime(self._entry_path(namespace, key))
+        except OSError:  # pragma: no cover - racing eviction
+            pass
         return entry
 
     # ----------------------------------------------------------- maintenance
@@ -172,6 +199,81 @@ class ResultCache:
         if not root.is_dir():
             return 0
         return sum(1 for _ in root.rglob("*.cas"))
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every live entry as ``(mtime, size, path)``; racing-unlink
+        tolerant (a concurrent GC or writer is normal operation)."""
+        out: list[tuple[float, int, Path]] = []
+        for path in self.root.rglob("*.cas"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, st.st_size, path))
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """The CAS section of the shared status document."""
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "scrub_repairs": self.scrub_repairs,
+        }
+
+    def gc(self, quota_bytes: int) -> int:
+        """Evict least-recently-used entries until under ``quota_bytes``.
+
+        Returns how many entries were evicted. Eviction is safe at any
+        moment: a reader that loses the race sees a miss and
+        re-simulates; a writer re-creates the entry atomically.
+        """
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= quota_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def scrub(self) -> int:
+        """Quarantine every entry whose frame fails verification.
+
+        A damaged entry is moved to ``quarantine/`` with a
+        ``.damaged`` suffix — out of every read path (readers glob
+        ``*.cas``) but inspectable — and counted as a repair: the next
+        request for that key is a clean miss that overwrites nothing.
+        Returns how many entries were quarantined.
+        """
+        quarantine = self.root / self.QUARANTINE_DIR
+        repaired = 0
+        for _mtime, _size, path in self._entries():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            if self._decode(blob) is not None:
+                continue
+            quarantine.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(
+                    path, quarantine / (path.name + ".damaged")
+                )
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            repaired += 1
+        self.scrub_repairs += repaired
+        return repaired
 
 
 @dataclass

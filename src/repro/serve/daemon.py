@@ -14,7 +14,8 @@ service with a memory:
 * ``GET /v1/experiments``     — registry metadata (``repro list
   --json``'s document).
 * ``GET /v1/status``          — the shared status document (``repro
-  status --json``'s document), plus this daemon's job manifests.
+  status --json``'s document), plus this daemon's job manifests, CAS
+  statistics, and service/admission counters.
 
 Completed work is memoized in the content-addressed store under
 ``results/cas/`` (:mod:`repro.serve.cas`): whole response documents
@@ -27,8 +28,21 @@ responses. The ``X-Repro-Cache`` response header says which path
 served each request (``miss`` | ``hit`` | ``coalesced``), and
 ``X-Repro-Job`` names the job.
 
-Simulations are CPU-bound, so they run on a small thread pool while
-the event loop keeps serving status/stream requests.
+Execution is **process-isolated** (:mod:`repro.serve.workers`): every
+admitted job runs in a supervised worker process with heartbeats, a
+deadline, and bounded retries — a crashed or hung simulation is
+retried and reported, never fatal to the daemon. Admitted jobs are
+**durable** (:mod:`repro.serve.journal`): journaled before execution,
+retired after, recovered on the next start if the daemon dies in
+between (sweeps resume from their per-point CAS entries, so completed
+work is never repeated). Admission is **bounded**: a saturated tier
+answers ``503 + Retry-After``, a per-client token bucket answers
+``429 + Retry-After``, and ``SIGTERM`` enters drain mode — running
+jobs finish, new simulating requests get 503, and a drain that times
+out journals the stragglers and exits 75 (the resumable exit code,
+matching ``repro run``). The CAS itself is kept under a size quota
+by background LRU eviction (``--cas-quota-mb``), with eviction and
+scrub totals on ``/v1/status``.
 """
 
 from __future__ import annotations
@@ -37,13 +51,15 @@ import asyncio
 import concurrent.futures
 import hashlib
 import json
-import time
+import os
+import signal
+import sys
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, RunContext, get_spec
 from repro.experiments.context import DEFAULT_CHECKPOINT_DIR
-from repro.obs import Tracer
-from repro.serve.cas import DEFAULT_CAS_DIR, CasJournal, ResultCache
+from repro.resilience.signals import EXIT_RESUMABLE
+from repro.serve.cas import DEFAULT_CAS_DIR, ResultCache
 from repro.serve.http import (
     LAST_CHUNK,
     HttpRequest,
@@ -56,13 +72,11 @@ from repro.serve.http import (
     response_head,
 )
 from repro.serve.jobs import Job, JobRegistry
+from repro.serve.journal import DEFAULT_JOBS_DIR, JobJournal, JobRecord
+from repro.serve.ratelimit import RateLimiter
 from repro.serve.status import status_document
-from repro.sweepspec import (
-    SpecError,
-    SweepSpec,
-    run_sweepspec,
-    sweep_document,
-)
+from repro.serve.workers import WorkerTier
+from repro.sweepspec import SpecError, SweepSpec
 
 _RUN_FIELDS = {
     "experiment",
@@ -173,6 +187,16 @@ class SimulationService:
         checkpoint_dir: str | Path = DEFAULT_CHECKPOINT_DIR,
         profile_dir: str | None = None,
         workers: int = 2,
+        *,
+        jobs_dir: str | Path = DEFAULT_JOBS_DIR,
+        queue_depth: int = 8,
+        rate_limit: float = 0.0,
+        rate_burst: float = 5.0,
+        cas_quota_mb: float | None = None,
+        gc_interval_s: float = 60.0,
+        retries: int = 2,
+        deadline_s: float | None = None,
+        drain_timeout_s: float = 30.0,
     ):
         self.host = host
         self.port = port
@@ -180,13 +204,36 @@ class SimulationService:
         self.checkpoint_dir = str(checkpoint_dir)
         self.profile_dir = profile_dir
         self.jobs = JobRegistry()
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=max(1, workers),
-            thread_name_prefix="repro-serve",
+        self.journal = JobJournal(jobs_dir)
+        self.tier = WorkerTier(
+            workers=workers, retries=retries, deadline_s=deadline_s
         )
+        self.limiter = RateLimiter(rate=rate_limit, burst=rate_burst)
+        self.queue_depth = max(0, queue_depth)
+        self.cas_quota_bytes = (
+            int(cas_quota_mb * 1024 * 1024)
+            if cas_quota_mb is not None
+            else None
+        )
+        self.gc_interval_s = gc_interval_s
+        self.drain_timeout_s = drain_timeout_s
         #: (digest, tier, tolerance) -> Future[bytes]; loop-thread only.
         self._inflight: dict[tuple, asyncio.Future] = {}
+        #: Jobs currently admitted to the tier (running or queued).
+        self._active = 0
+        self._draining = False
+        self._counters: dict[str, int] = {
+            "accepted": 0,
+            "rejected_saturated": 0,
+            "rate_limited": 0,
+            "jobs_recovered": 0,
+            "jobs_recovery_failed": 0,
+            "journal_quarantined": 0,
+            "stream_detached": 0,
+        }
+        self._exit_code = 0
         self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self.bound_port: int | None = None
 
     # ------------------------------------------------------------- identities
@@ -213,9 +260,22 @@ class SimulationService:
         )
 
     # -------------------------------------------------------------- lifecycle
-    async def _serve(self, announce: bool = False,
-                     ready=None) -> None:
+    async def _serve(
+        self,
+        announce: bool = False,
+        ready=None,
+        install_signals: bool = False,
+    ) -> None:
         self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        if install_signals:
+            try:
+                self._loop.add_signal_handler(
+                    signal.SIGTERM,
+                    lambda: asyncio.ensure_future(self._drain()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or exotic platform
         server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
@@ -227,19 +287,83 @@ class SimulationService:
             )
         if ready is not None:
             ready.set()
+        recovery = asyncio.ensure_future(self._recover_jobs())
+        gc_task = (
+            asyncio.ensure_future(self._gc_loop())
+            if self.cas_quota_bytes is not None
+            else None
+        )
         try:
             async with server:
                 await self._stop.wait()
         finally:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            recovery.cancel()
+            if gc_task is not None:
+                gc_task.cancel()
+            self.tier.shutdown()
+            self._interrupt_unfinished()
+
+    def _interrupt_unfinished(self) -> None:
+        """Shutdown reached jobs still queued/running: make that an
+        explicit ``interrupted`` state (not a manifest forever claiming
+        ``running``) and keep their journal records for recovery."""
+        for job in self.jobs:
+            if job.done:
+                continue
+            job.mark_interrupted()
+            self.journal.mark_interrupted(
+                job.manifest.kind, job.manifest.digest
+            )
+
+    async def _drain(self) -> None:
+        """SIGTERM: finish running jobs, refuse new ones, then stop.
+
+        Exits 0 when every active job finished inside the timeout;
+        otherwise journals the stragglers (they are already journaled
+        — the journal record is only retired on completion) and exits
+        :data:`~repro.resilience.EXIT_RESUMABLE` so an operator's
+        supervisor knows a restart will pick the work back up.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout_s
+        while self._active > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        self._exit_code = (
+            EXIT_RESUMABLE if self._active > 0 else 0
+        )
+        assert self._stop is not None
+        self._stop.set()
+
+    def begin_drain(self) -> None:
+        """Thread-safe drain trigger (tests and embedding code; the
+        foreground daemon gets it from SIGTERM)."""
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(self._drain())
+        )
 
     def run_blocking(self) -> int:
-        """Foreground mode (``repro serve``); SIGINT exits cleanly."""
+        """Foreground mode (``repro serve``); SIGINT exits cleanly,
+        SIGTERM drains."""
         try:
-            asyncio.run(self._serve(announce=True))
+            asyncio.run(
+                self._serve(announce=True, install_signals=True)
+            )
         except KeyboardInterrupt:
-            pass
-        return 0
+            return 0
+        if self._exit_code == EXIT_RESUMABLE:
+            # Supervisor threads may still hold hung work; a normal
+            # exit would block joining them. Everything unfinished is
+            # journaled — leave abruptly, like the resumable-run path.
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(EXIT_RESUMABLE)
+        return self._exit_code
 
     def start_background(self):
         """Run the daemon on a daemon thread (tests); returns once the
@@ -272,6 +396,84 @@ class SimulationService:
             loop.call_soon_threadsafe(self._stop.set)
             self._bg_thread.join(timeout=10)
 
+    # --------------------------------------------------------------- recovery
+    async def _recover_jobs(self) -> None:
+        """Replay journaled jobs a previous daemon never finished.
+
+        Runs as a startup task on the event loop: each record goes
+        through the same admission-free execution path a fresh request
+        would, so recovered work coalesces with (and is visible to)
+        live traffic. Sweeps resume from their per-point CAS entries —
+        the worker's ``CasJournal`` serves completed points back, and
+        the run counts them as ``points_resumed``.
+        """
+        records, damaged = self.journal.scan()
+        if damaged:
+            self._counters["journal_quarantined"] += len(damaged)
+        for rec in records:
+            if self._draining:
+                break
+            try:
+                await self._recover_one(rec)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self._counters["jobs_recovery_failed"] += 1
+            else:
+                self._counters["jobs_recovered"] += 1
+
+    async def _recover_one(self, rec: JobRecord) -> None:
+        if rec.kind == "run":
+            params = _parse_run_body(rec.request["params"])
+            digest = self.run_digest(params)
+            plan = dict(
+                kind="run",
+                namespace="run",
+                digest=digest,
+                tier=params["tier"],
+                tolerance=params["fidelity"],
+                experiment_id=params["experiment"],
+                task=self._run_task(params),
+            )
+        elif rec.kind == "sweep":
+            spec = SweepSpec.from_dict(rec.request["spec"])
+            tier = str(rec.request.get("tier", "sim"))
+            fidelity = float(rec.request.get("fidelity", 0.05))
+            jobs = int(rec.request.get("jobs", 1))
+            plan = dict(
+                kind="sweep",
+                namespace="sweep",
+                digest=self.sweep_digest(spec),
+                tier=tier,
+                tolerance=fidelity,
+                experiment_id=spec.experiment_id,
+                task=self._sweep_task(
+                    spec.to_dict(), tier, fidelity, jobs
+                ),
+            )
+        else:
+            raise ValueError(f"unknown journaled kind {rec.kind!r}")
+        # The dying daemon may have finished the work but not retired
+        # the record (killed between CAS put and retire): a completed
+        # entry means the job is already recovered.
+        entry = self.cache.lookup(
+            plan["namespace"],
+            plan["digest"],
+            tier=plan["tier"],
+            tolerance=plan["tolerance"],
+        )
+        if entry is not None:
+            self.journal.retire(rec.kind, plan["digest"])
+            return
+        if (plan["namespace"], plan["digest"], plan["tier"],
+                plan["tolerance"]) in self._inflight:
+            return  # a live request already resubmitted it
+        body, _job, error = await self._execute_job(
+            request_doc=rec.request, **plan
+        )
+        if body is None:
+            raise RuntimeError(error or "recovery failed")
+
     # -------------------------------------------------------------- transport
     async def _handle_client(
         self,
@@ -286,6 +488,8 @@ class SimulationService:
                 return
             if request is None:
                 return
+            peer = writer.get_extra_info("peername")
+            request.client = peer[0] if peer else "unknown"
             if request.query.get("stream") and (
                 request.method == "GET"
                 and request.path.startswith("/v1/jobs/")
@@ -321,6 +525,8 @@ class SimulationService:
                     status_document(
                         self.checkpoint_dir,
                         jobs=self.jobs.manifests(),
+                        cas=self.cache.stats(),
+                        service=self._service_section(),
                     ),
                 )
             if path.startswith("/v1/jobs/"):
@@ -353,6 +559,20 @@ class SimulationService:
                 500, f"{type(exc).__name__}: {exc}"
             )
 
+    def _service_section(self) -> dict[str, object]:
+        """The daemon half of the shared status document."""
+        return {
+            "draining": self._draining,
+            "workers": self.tier.workers,
+            "queue_depth": self.queue_depth,
+            "active": self._active,
+            "journal_dir": str(self.journal.root),
+            "journaled_jobs": len(self.journal),
+            "rate_limit": self.limiter.rate,
+            "cas_quota_bytes": self.cas_quota_bytes,
+            **self._counters,
+        }
+
     # ------------------------------------------------------------------- jobs
     def _job_response(self, job_id: str) -> bytes:
         job = self.jobs.get(job_id)
@@ -373,36 +593,51 @@ class SimulationService:
                 error_response(404, f"unknown job {job_id!r}")
             )
             return
-        writer.write(
-            response_head(
-                200,
-                content_type="application/x-ndjson",
-                chunked=True,
-                extra_headers={"X-Repro-Job": job.job_id},
-            )
-        )
-        await writer.drain()
-        cursor = 0
-        while True:
-            events, cursor = job.events_since(cursor)
-            for event in events:
-                writer.write(
-                    chunk(
-                        (json.dumps(event) + "\n").encode("utf-8")
-                    )
+        try:
+            writer.write(
+                response_head(
+                    200,
+                    content_type="application/x-ndjson",
+                    chunked=True,
+                    extra_headers={"X-Repro-Job": job.job_id},
                 )
-            if events:
-                await writer.drain()
-            if job.done:
-                break
-            await asyncio.sleep(0.05)
-        final = {"event": "end", "manifest": job.snapshot()}
-        writer.write(
-            chunk((json.dumps(final) + "\n").encode("utf-8"))
-        )
-        writer.write(LAST_CHUNK)
+            )
+            await writer.drain()
+            cursor = 0
+            while True:
+                events, cursor = job.events_since(cursor)
+                for event in events:
+                    writer.write(
+                        chunk(
+                            (json.dumps(event) + "\n").encode("utf-8")
+                        )
+                    )
+                if events:
+                    await writer.drain()
+                if writer.is_closing():
+                    raise ConnectionResetError("client went away")
+                if job.done:
+                    break
+                await asyncio.sleep(0.05)
+            final = {"event": "end", "manifest": job.snapshot()}
+            writer.write(
+                chunk((json.dumps(final) + "\n").encode("utf-8"))
+            )
+            writer.write(LAST_CHUNK)
+        except (ConnectionResetError, BrokenPipeError):
+            # The subscriber disconnected; the job is not theirs to
+            # kill. Detach and let it run — the next poll of
+            # /v1/jobs/<id> still sees every event.
+            self._counters["stream_detached"] += 1
 
     # --------------------------------------------------------------- /v1/run
+    def _run_task(self, params: dict) -> dict:
+        return {
+            "kind": "run",
+            "params": dict(params),
+            "profile_dir": self.profile_dir,
+        }
+
     async def _handle_run(self, request: HttpRequest) -> bytes:
         params = _parse_run_body(request.json())
         digest = self.run_digest(params)
@@ -413,36 +648,25 @@ class SimulationService:
             tier=params["tier"],
             tolerance=params["fidelity"],
             experiment_id=params["experiment"],
-            execute=lambda job: self._execute_run(params, job),
+            task=self._run_task(params),
+            request_doc={"params": params},
+            client=request.client,
         )
-
-    def _execute_run(self, params: dict, job: Job):
-        """Worker-thread body: run one experiment, JSON-serialized."""
-        from repro.silicon.variation import PERSONAS
-
-        tracer = Tracer()
-        tracer.subscribe(job.record_event)
-        ctx = RunContext(
-            quick=params["quick"],
-            jobs=params["jobs"],
-            persona=(
-                PERSONAS[params["persona"]]
-                if params["persona"]
-                else None
-            ),
-            tracer=tracer,
-            out_format="json",
-            checks=params["checks"],
-            batch=params["batch"],
-            tier=params["tier"],
-            fidelity=params["fidelity"],
-            profile_dir=self.profile_dir,
-        )
-        result = get_spec(params["experiment"]).resolve()(ctx)
-        body = (result.to_json() + "\n").encode("utf-8")
-        return body, dict(tracer.resilience), dict(tracer.meta)
 
     # ------------------------------------------------------------- /v1/sweep
+    def _sweep_task(
+        self, spec_dict: dict, tier: str, fidelity: float, jobs: int
+    ) -> dict:
+        return {
+            "kind": "sweep",
+            "spec": spec_dict,
+            "tier": tier,
+            "fidelity": fidelity,
+            "jobs": jobs,
+            "cas_dir": str(self.cache.root),
+            "profile_dir": self.profile_dir,
+        }
+
     async def _handle_sweep(self, request: HttpRequest) -> bytes:
         spec = SweepSpec.from_dict(request.json())
         tier = request.query.get("tier", "sim")
@@ -466,57 +690,15 @@ class SimulationService:
             tier=tier,
             tolerance=fidelity,
             experiment_id=spec.experiment_id,
-            execute=lambda job: self._execute_sweep(
-                spec, tier, fidelity, jobs, job
-            ),
+            task=self._sweep_task(spec.to_dict(), tier, fidelity, jobs),
+            request_doc={
+                "spec": spec.to_dict(),
+                "tier": tier,
+                "fidelity": fidelity,
+                "jobs": jobs,
+            },
+            client=request.client,
         )
-
-    def _execute_sweep(
-        self,
-        spec: SweepSpec,
-        tier: str,
-        fidelity: float,
-        jobs: int,
-        job: Job,
-    ):
-        """Worker-thread body: run one SweepSpec with per-point CAS."""
-        from repro.resilience import RetryPolicy, Supervision
-
-        tracer = Tracer()
-        tracer.subscribe(job.record_event)
-        ctx = RunContext(
-            quick=spec.quick,
-            jobs=jobs,
-            tracer=tracer,
-            out_format="json",
-            tier=tier,
-            fidelity=fidelity,
-            profile_dir=self.profile_dir,
-        )
-        supervision = Supervision(
-            policy=RetryPolicy(retries=2),
-            journal=CasJournal(
-                self.cache,
-                tier=tier,
-                tolerance=fidelity,
-                tracer=tracer,
-            ),
-            tracer=tracer,
-            experiment_id=spec.experiment_id,
-        )
-        start = time.perf_counter()
-        result = run_sweepspec(spec, ctx, supervision=supervision)
-        doc = sweep_document(
-            spec,
-            result,
-            tier=tier,
-            fidelity=fidelity,
-            wall_s=time.perf_counter() - start,
-            counters=dict(tracer.resilience),
-            meta=dict(tracer.meta),
-        )
-        body = (json.dumps(doc, indent=2) + "\n").encode("utf-8")
-        return body, dict(tracer.resilience), dict(tracer.meta)
 
     # ------------------------------------------------- cache + coalescing
     async def _serve_cached(
@@ -527,16 +709,29 @@ class SimulationService:
         tier: str,
         tolerance: float,
         experiment_id: str,
-        execute,
+        task: dict,
+        request_doc: dict,
+        client: str = "",
     ) -> bytes:
-        """The tier-aware memo path every simulating endpoint shares.
+        """The admission + memo path every simulating endpoint shares.
 
-        Order of arbitration: completed entry in the store → serve the
-        stored bytes (``hit``); identical request currently executing
-        → await its future (``coalesced``); otherwise simulate, store,
-        and resolve the shared future (``miss``). The inflight table
-        only mutates on the event-loop thread, so no lock.
+        Order of arbitration: per-client rate limit (429) → completed
+        entry in the store → serve the stored bytes (``hit``) →
+        identical request currently executing → await its future
+        (``coalesced``) → drain mode or saturated tier (503) →
+        admit: journal, simulate in an isolated worker, store, resolve
+        the shared future (``miss``). The inflight table only mutates
+        on the event-loop thread, so no lock.
         """
+        if self.limiter.enabled and client:
+            wait = self.limiter.check(client)
+            if wait > 0:
+                self._counters["rate_limited"] += 1
+                return error_response(
+                    429,
+                    "rate limit exceeded for this client",
+                    retry_after=wait,
+                )
         entry = self.cache.lookup(
             namespace, digest, tier=tier, tolerance=tolerance
         )
@@ -577,6 +772,63 @@ class SimulationService:
                 },
             )
 
+        if self._draining:
+            return error_response(
+                503,
+                "daemon is draining; not accepting new work",
+                retry_after=self.drain_timeout_s,
+            )
+        if self._active >= self.tier.workers + self.queue_depth:
+            self._counters["rejected_saturated"] += 1
+            return error_response(
+                503,
+                "worker tier saturated",
+                retry_after=5.0,
+                active=self._active,
+            )
+
+        body, job, error = await self._execute_job(
+            kind=kind,
+            namespace=namespace,
+            digest=digest,
+            tier=tier,
+            tolerance=tolerance,
+            experiment_id=experiment_id,
+            task=task,
+            request_doc=request_doc,
+        )
+        if body is None:
+            return error_response(500, error, job=job.job_id)
+        return response(
+            200,
+            body,
+            extra_headers={
+                "X-Repro-Cache": "miss",
+                "X-Repro-Job": job.job_id,
+            },
+        )
+
+    async def _execute_job(
+        self,
+        kind: str,
+        namespace: str,
+        digest: str,
+        tier: str,
+        tolerance: float,
+        experiment_id: str,
+        task: dict,
+        request_doc: dict,
+    ) -> tuple[bytes | None, Job, str | None]:
+        """Journal, execute on the isolated tier, store, retire.
+
+        The one execution path shared by live requests and startup
+        recovery. Returns ``(body, job, None)`` on success and
+        ``(None, job, error)`` on a deterministic failure (which also
+        retires the journal record: replaying a request that fails on
+        its merits would fail forever).
+        """
+        from repro.check.faults import trigger_daemon_kill
+
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         # A failed simulation with zero coalesced waiters must not
@@ -584,22 +836,34 @@ class SimulationService:
         future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
         )
+        key = (namespace, digest, tier, tolerance)
         self._inflight[key] = future
         job = self.jobs.create(kind, digest, experiment_id)
+        self.journal.record(kind, digest, "accepted", request_doc)
+        self._counters["accepted"] += 1
+        self._active += 1
         job.mark_running()
+        self.journal.record(kind, digest, "running", request_doc)
+        trigger_daemon_kill()
         try:
-            body, counters, meta = await loop.run_in_executor(
-                self._executor, execute, job
+            body, counters, meta = await asyncio.wrap_future(
+                self.tier.submit(task, job)
             )
+        except (asyncio.CancelledError, concurrent.futures.CancelledError):
+            # Shutdown cancelled a queued job: explicit interrupted
+            # state, journal record kept for the next daemon.
+            job.mark_interrupted()
+            self.journal.mark_interrupted(kind, digest)
+            if not future.done():
+                future.cancel()
+            raise
         except Exception as exc:
             job.finish(error=f"{type(exc).__name__}: {exc}")
+            self.journal.retire(kind, digest)
             future.set_exception(exc)
-            return error_response(
-                500,
-                f"{type(exc).__name__}: {exc}",
-                job=job.job_id,
-            )
+            return None, job, f"{type(exc).__name__}: {exc}"
         finally:
+            self._active -= 1
             self._inflight.pop(key, None)
         entry_tier = (
             "sim"
@@ -613,17 +877,30 @@ class SimulationService:
             tier=entry_tier,
             tier_err=float(meta.get("surrogate_max_err", 0.0) or 0.0),
         )
+        # Per-point CAS traffic happened in the worker process against
+        # its own handle; fold it into the daemon's lifetime totals.
+        self.cache.hits += int(counters.get("cas_hits", 0))
+        self.cache.misses += int(counters.get("cas_misses", 0))
         job.add_counters({"cas_misses": 1})
         job.add_counters(
             {k: v for k, v in counters.items() if isinstance(v, int)}
         )
         job.finish()
+        self.journal.retire(kind, digest)
         future.set_result(body)
-        return response(
-            200,
-            body,
-            extra_headers={
-                "X-Repro-Cache": "miss",
-                "X-Repro-Job": job.job_id,
-            },
-        )
+        if self.cas_quota_bytes is not None:
+            await loop.run_in_executor(
+                None, self.cache.gc, self.cas_quota_bytes
+            )
+        return body, job, None
+
+    # ------------------------------------------------------------ cas upkeep
+    async def _gc_loop(self) -> None:
+        """Background LRU enforcement of the CAS size quota."""
+        assert self.cas_quota_bytes is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.gc_interval_s)
+            await loop.run_in_executor(
+                None, self.cache.gc, self.cas_quota_bytes
+            )

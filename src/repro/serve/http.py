@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, urlsplit
 
@@ -37,6 +38,8 @@ class HttpRequest:
     query: dict[str, str] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Peer address, filled in by the daemon (rate-limit identity).
+    client: str = ""
 
     def json(self) -> object:
         try:
@@ -100,8 +103,10 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -154,10 +159,22 @@ def json_response(
 
 
 def error_response(
-    status: int, message: str, **details: object
+    status: int,
+    message: str,
+    retry_after: float | None = None,
+    **details: object,
 ) -> bytes:
+    """An error document; ``retry_after`` (seconds) also becomes the
+    ``Retry-After`` header — the 429/503 backpressure contract."""
+    headers = None
+    if retry_after is not None:
+        seconds = max(1, math.ceil(retry_after))
+        headers = {"Retry-After": str(seconds)}
+        details = {"retry_after_s": seconds, **details}
     return json_response(
-        status, {"error": {"message": message, **details}}
+        status,
+        {"error": {"message": message, **details}},
+        extra_headers=headers,
     )
 
 

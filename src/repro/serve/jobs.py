@@ -57,6 +57,30 @@ class Job:
         with self._lock:
             self.manifest.state = "running"
 
+    def mark_interrupted(self, reason: str | None = None) -> None:
+        """The daemon stopped before this job finished.
+
+        Queued and running jobs abandoned by a shutdown land here —
+        an explicit, queryable state (``/v1/status``, ``repro status
+        --json``) instead of a manifest forever claiming ``running``.
+        The job's journal record survives, so the next daemon recovers
+        it. Idempotent, and a no-op on jobs that already finished.
+        """
+        with self._lock:
+            if self.manifest.state in ("done", "failed", "interrupted"):
+                return
+            self.manifest.state = "interrupted"
+            self.manifest.error = (
+                reason
+                or "daemon stopped before the job finished; "
+                "journaled for recovery on restart"
+            )
+            self.manifest.finished_at = time.time()
+            self.manifest.wall_s = (
+                self.manifest.finished_at - self.manifest.created_at
+            )
+        self._done.set()
+
     def add_counters(self, counters: dict[str, int]) -> None:
         with self._lock:
             for name, value in counters.items():

@@ -1,0 +1,98 @@
+"""Per-client token-bucket rate limiting for the simulating endpoints.
+
+Each client (keyed by peer address) owns one bucket holding up to
+``burst`` tokens, refilled continuously at ``rate`` tokens per
+second. A simulating POST costs one token; a client with an empty
+bucket gets ``429 Too Many Requests`` plus a ``Retry-After`` telling
+it exactly when the next token lands — polite backpressure instead
+of silent queue growth. Read-only endpoints (status, job manifests,
+streams) are never limited: observability must stay cheap precisely
+when the service is busiest.
+
+The limiter is deliberately tiny and deterministic: no background
+refill thread (tokens are computed from elapsed time at check time)
+and an injectable clock so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/s."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds to wait.
+
+        The returned wait is until the bucket holds ``cost`` tokens
+        again — the honest ``Retry-After``.
+        """
+        now = self._clock()
+        self._tokens = min(
+            self.burst,
+            self._tokens + (now - self._refilled_at) * self.rate,
+        )
+        self._refilled_at = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets per client key; ``rate <= 0`` disables limiting."""
+
+    #: Keep at most this many idle buckets before pruning the oldest.
+    MAX_CLIENTS = 4096
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str) -> float:
+        """0.0 = admitted; positive = rejected, retry after that many s."""
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.MAX_CLIENTS:
+                    # Drop the stalest bucket: an attacker cycling
+                    # source addresses buys fresh bursts, not memory.
+                    oldest = min(
+                        self._buckets,
+                        key=lambda k: self._buckets[k]._refilled_at,
+                    )
+                    del self._buckets[oldest]
+                bucket = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+                self._buckets[client] = bucket
+            return bucket.try_acquire()

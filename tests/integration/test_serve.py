@@ -31,6 +31,7 @@ def service(tmp_path_factory):
         cas_dir=root / "cas",
         checkpoint_dir=root / "checkpoints",
         workers=4,
+        jobs_dir=root / "jobs",
     )
     svc.start_background()
     yield svc
